@@ -1,0 +1,67 @@
+package pbfs
+
+import (
+	"fmt"
+
+	"repro/internal/graph500"
+)
+
+// BatchStats summarizes a multi-source benchmark the way Graph 500
+// reports results.
+type BatchStats struct {
+	NumSearches      int
+	MeanTime         float64 // simulated seconds per search
+	MinTime          float64
+	MaxTime          float64
+	MedianTime       float64
+	MeanCommTime     float64
+	HarmonicMeanTEPS float64 // the headline Graph 500 statistic
+	MinTEPS          float64
+	MaxTEPS          float64
+	MeanLevels       float64
+}
+
+// Benchmark runs the Graph 500 measurement protocol on this graph: k
+// search keys sampled from the largest component, one BFS each under
+// opt, every search validated, and the batch summarized. It returns an
+// error if any search fails validation — a benchmark that reports rates
+// for wrong answers is worthless.
+func (g *Graph) Benchmark(opt Options, k int, seed uint64) (*BatchStats, error) {
+	if k < 1 {
+		k = 16 // the paper's minimum search count
+	}
+	sources := g.Sources(k, seed)
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("pbfs: no usable search keys")
+	}
+	runs := make([]graph500.Run, 0, len(sources))
+	for i, src := range sources {
+		res, err := g.BFS(src, opt)
+		if err != nil {
+			return nil, fmt.Errorf("pbfs: search %d: %w", i+1, err)
+		}
+		if err := g.Validate(res); err != nil {
+			return nil, fmt.Errorf("pbfs: search %d from %d failed validation: %w", i+1, src, err)
+		}
+		runs = append(runs, graph500.Run{
+			Source:   src,
+			Time:     res.SimTime,
+			CommTime: res.CommTime,
+			Edges:    res.TraversedEdges,
+			Levels:   res.Levels,
+		})
+	}
+	st := graph500.Summarize(runs)
+	return &BatchStats{
+		NumSearches:      st.NumRuns,
+		MeanTime:         st.MeanTime,
+		MinTime:          st.MinTime,
+		MaxTime:          st.MaxTime,
+		MedianTime:       st.MedianTime,
+		MeanCommTime:     st.MeanCommTime,
+		HarmonicMeanTEPS: st.HarmonicMeanTEPS,
+		MinTEPS:          st.MinTEPS,
+		MaxTEPS:          st.MaxTEPS,
+		MeanLevels:       st.MeanLevels,
+	}, nil
+}

@@ -1,0 +1,63 @@
+package pbfs
+
+import "testing"
+
+func TestBenchmarkProtocol(t *testing.T) {
+	g := testGraph(t)
+	st, err := g.Benchmark(Options{Algorithm: TwoDHybrid, Ranks: 9, Machine: "hopper"}, 5, 0x77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSearches != 5 {
+		t.Errorf("NumSearches = %d", st.NumSearches)
+	}
+	if st.HarmonicMeanTEPS <= 0 || st.MeanTime <= 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+	if st.MinTime > st.MedianTime || st.MedianTime > st.MaxTime {
+		t.Errorf("time ordering broken: %+v", st)
+	}
+	if st.MinTEPS > st.HarmonicMeanTEPS || st.HarmonicMeanTEPS > st.MaxTEPS {
+		t.Errorf("TEPS ordering broken: %+v", st)
+	}
+	if st.MeanCommTime <= 0 || st.MeanCommTime >= st.MeanTime {
+		t.Errorf("comm time %v outside (0, %v)", st.MeanCommTime, st.MeanTime)
+	}
+	if st.MeanLevels < 2 {
+		t.Errorf("MeanLevels = %v", st.MeanLevels)
+	}
+}
+
+func TestBenchmarkDefaultsAndErrors(t *testing.T) {
+	g := testGraph(t)
+	// k < 1 defaults to the paper's 16 searches.
+	st, err := g.Benchmark(Options{Algorithm: OneDFlat, Ranks: 4, Machine: "franklin"}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSearches != 16 {
+		t.Errorf("default searches = %d, want 16", st.NumSearches)
+	}
+	// A bad option surfaces as an error, not a panic.
+	if _, err := g.Benchmark(Options{Algorithm: TwoDFlat, Ranks: 7}, 2, 1); err == nil {
+		t.Error("non-square 2D benchmark accepted")
+	}
+}
+
+func TestBenchmarkConsistentAcrossAlgorithms(t *testing.T) {
+	// All variants must agree on levels and traversed work, so the mean
+	// levels statistic must be identical.
+	g := testGraph(t)
+	var levels []float64
+	for _, algo := range []Algorithm{OneDFlat, TwoDFlat} {
+		ranks := 4
+		st, err := g.Benchmark(Options{Algorithm: algo, Ranks: ranks, Machine: "franklin"}, 4, 0x99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		levels = append(levels, st.MeanLevels)
+	}
+	if levels[0] != levels[1] {
+		t.Errorf("mean levels differ across algorithms: %v", levels)
+	}
+}

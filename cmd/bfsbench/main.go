@@ -1,0 +1,59 @@
+// Command bfsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bfsbench -list
+//	bfsbench -experiment table1
+//	bfsbench -experiment all -emulate=false
+//
+// Each experiment prints a PROJECTED block (the paper's exact machine
+// configurations through the calibrated Section 5 model) and, with
+// -emulate (default on), an EMULATED block (real execution of the
+// distributed algorithms at laptop scale over goroutine ranks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all' (see -list)")
+		emulate    = flag.Bool("emulate", true, "also run the downscaled emulated experiments")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s  %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	if *experiment == "all" {
+		if err := bench.RunAll(os.Stdout, *emulate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, name := range strings.Split(*experiment, ",") {
+		e, ok := bench.Lookup(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q; try -list", name))
+		}
+		if err := e.Run(os.Stdout, *emulate); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsbench:", err)
+	os.Exit(1)
+}

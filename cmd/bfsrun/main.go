@@ -1,0 +1,111 @@
+// Command bfsrun executes a single distributed BFS configuration and
+// prints its result profile: levels, traversed edges, simulated time,
+// TEPS, and the per-phase communication breakdown.
+//
+// Example:
+//
+//	bfsrun -scale 16 -algo 2d-hybrid -ranks 16 -machine hopper -sources 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+var algoNames = map[string]pbfs.Algorithm{
+	"1d":        pbfs.OneDFlat,
+	"1d-hybrid": pbfs.OneDHybrid,
+	"2d":        pbfs.TwoDFlat,
+	"2d-hybrid": pbfs.TwoDHybrid,
+	"reference": pbfs.Reference,
+	"pbgl":      pbfs.PBGL,
+}
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 14, "R-MAT scale (2^scale vertices)")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex")
+		seed       = flag.Uint64("seed", 1, "graph seed")
+		web        = flag.Bool("web", false, "use the high-diameter web-crawl generator instead of R-MAT")
+		algoName   = flag.String("algo", "2d", "algorithm: 1d, 1d-hybrid, 2d, 2d-hybrid, reference, pbgl")
+		ranks      = flag.Int("ranks", 16, "emulated rank count (2D variants need a perfect square)")
+		threads    = flag.Int("threads", 0, "threads per rank (0 = machine default for hybrid variants)")
+		machine    = flag.String("machine", "franklin", "cost model: franklin, hopper, carver, or '' for none")
+		kernel     = flag.String("kernel", "auto", "local SpMSV kernel for 2D: auto, spa, heap")
+		sources    = flag.Int("sources", 1, "number of Graph 500 search keys to run")
+		validate   = flag.Bool("validate", true, "validate against the serial oracle")
+		trace      = flag.Bool("trace", false, "print the per-level frontier profile")
+	)
+	flag.Parse()
+
+	algo, ok := algoNames[*algoName]
+	if !ok {
+		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	var g *pbfs.Graph
+	var err error
+	if *web {
+		g, err = pbfs.NewWebCrawlGraph(int64(1)<<uint(*scale), *seed)
+	} else {
+		g, err = pbfs.NewRMATGraph(*scale, *edgeFactor, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: n=%d, m=%d undirected edges\n", g.NumVerts(), g.NumEdges())
+
+	keys := g.Sources(*sources, *seed)
+	if len(keys) == 0 {
+		fatal(fmt.Errorf("no usable search keys"))
+	}
+	for i, src := range keys {
+		res, err := g.BFS(src, pbfs.Options{
+			Algorithm: algo, Ranks: *ranks, Threads: *threads,
+			Machine: *machine, Kernel: *kernel, Trace: *trace,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *validate {
+			if err := g.Validate(res); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("\nsearch %d from vertex %d (%s, %d ranks, machine %s)\n",
+			i+1, src, algo, *ranks, *machine)
+		fmt.Printf("  levels           %d\n", res.Levels)
+		fmt.Printf("  traversed edges  %d\n", res.TraversedEdges)
+		if res.SimTime > 0 {
+			fmt.Printf("  simulated time   %.6f s\n", res.SimTime)
+			fmt.Printf("  TEPS             %.3e\n", res.TEPS())
+			fmt.Printf("  comm time (max)  %.6f s\n", res.CommTime)
+			tags := make([]string, 0, len(res.CommByPhase))
+			for tag := range res.CommByPhase {
+				tags = append(tags, tag)
+			}
+			sort.Strings(tags)
+			for _, tag := range tags {
+				fmt.Printf("    %-10s %.6f s\n", tag, res.CommByPhase[tag])
+			}
+		}
+		if *trace {
+			fmt.Println("  frontier profile (vertices discovered per level):")
+			for l, c := range res.LevelFrontier {
+				fmt.Printf("    level %3d  %d\n", l+1, c)
+			}
+		}
+		if *validate {
+			fmt.Println("  validation       ok")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsrun:", err)
+	os.Exit(1)
+}

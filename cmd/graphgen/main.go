@@ -1,0 +1,71 @@
+// Command graphgen generates benchmark graphs to a binary edge file
+// (see internal/edgefile for the format). Graphs are emitted directed;
+// consumers symmetrize as the Graph 500 benchmark does.
+//
+// Examples:
+//
+//	graphgen -kind rmat -scale 20 -edgefactor 16 -o rmat20.edges
+//	graphgen -kind web -scale 18 -o crawl.edges
+//	graphgen -verify rmat20.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/edgefile"
+	"repro/internal/graph"
+	"repro/internal/rmat"
+	"repro/internal/webgen"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "rmat", "generator: rmat or web")
+		scale      = flag.Int("scale", 16, "log2 of the vertex count")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		out        = flag.String("o", "graph.edges", "output file")
+		verify     = flag.String("verify", "", "read an edge file and print its header instead of generating")
+	)
+	flag.Parse()
+
+	if *verify != "" {
+		el, err := edgefile.ReadFile(*verify)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: ok, %d vertices, %d directed edges\n", *verify, el.NumVerts, len(el.Edges))
+		return
+	}
+
+	var el *graph.EdgeList
+	var err error
+	switch *kind {
+	case "rmat":
+		p := rmat.Graph500(*scale, *edgeFactor, *seed)
+		el, err = p.Generate()
+		if err == nil {
+			err = graph.RelabelEdges(el, p.Permutation())
+		}
+	case "web":
+		p := webgen.UKUnionLike(int64(1)<<uint(*scale), *seed)
+		p.EdgeFactor = *edgeFactor
+		el, err = p.Generate()
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := edgefile.WriteFile(*out, el); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d directed edges\n", *out, el.NumVerts, len(el.Edges))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+package pbfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestDirectedBFSBasics(t *testing.T) {
+	// A directed path 0 -> 1 -> 2 -> 3 with a back edge 3 -> 0: from 0
+	// everything is reachable, from 3 only via the cycle.
+	g, err := NewDirectedGraph(4, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("graph not marked directed")
+	}
+	res := g.SerialBFS(0)
+	for v, want := range []int64{0, 1, 2, 3} {
+		if res.Dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, res.Dist[v], want)
+		}
+	}
+
+	// One-way edges: from 1, vertex 0 is reachable only around the cycle.
+	res = g.SerialBFS(1)
+	if res.Dist[0] != 3 {
+		t.Errorf("directed dist 1->0 = %d, want 3 (around the cycle)", res.Dist[0])
+	}
+}
+
+func TestDirectedDistributedMatchesSerial(t *testing.T) {
+	rng := prng.New(0xd1c)
+	const n = 600
+	var edges [][2]int64
+	for i := 0; i < 3000; i++ {
+		edges = append(edges, [2]int64{rng.Int64n(n), rng.Int64n(n)})
+	}
+	g, err := NewDirectedGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.Sources(1, 5)[0]
+	want := g.SerialBFS(src)
+	for _, algo := range []Algorithm{OneDFlat, TwoDFlat, TwoDHybrid} {
+		ranks := 4
+		res, err := g.BFS(src, Options{Algorithm: algo, Ranks: ranks})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for v := range res.Dist {
+			if res.Dist[v] != want.Dist[v] {
+				t.Fatalf("%v: dist[%d] = %d, want %d", algo, v, res.Dist[v], want.Dist[v])
+			}
+		}
+		if err := g.Validate(res); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+	}
+}
+
+// Property: distributed directed BFS matches the serial oracle on random
+// digraphs (exercises the 2D transposed-block convention with asymmetric
+// matrices).
+func TestDirectedProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := int64(rng.Intn(100) + 8)
+		var edges [][2]int64
+		for i := 0; i < rng.Intn(300); i++ {
+			edges = append(edges, [2]int64{rng.Int64n(n), rng.Int64n(n)})
+		}
+		g, err := NewDirectedGraph(n, edges)
+		if err != nil {
+			return false
+		}
+		src := rng.Int64n(n)
+		want := g.SerialBFS(src)
+		algo := []Algorithm{OneDFlat, TwoDFlat}[rng.Intn(2)]
+		res, err := g.BFS(src, Options{Algorithm: algo, Ranks: 4})
+		if err != nil {
+			return false
+		}
+		for v := range res.Dist {
+			if res.Dist[v] != want.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectedValidateCatchesCorruption(t *testing.T) {
+	g, err := NewDirectedGraph(5, [][2]int64{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.SerialBFS(0)
+	res.Dist[2] = 7
+	if err := g.Validate(res); err == nil {
+		t.Error("corrupted directed result accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package bfs1d
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/serial"
+)
+
+// Options configures a 1D BFS run.
+type Options struct {
+	// Threads is the intra-rank threading width: 1 (or 0) is the flat
+	// algorithm, >1 the hybrid algorithm with thread-local buffers merged
+	// per level (Algorithm 2's tBuf stacks).
+	Threads int
+	// LocalShortcut updates locally-owned discoveries in place instead of
+	// routing them through the all-to-all like the reference code does.
+	// This is one of the work-efficiency optimizations distinguishing the
+	// paper's 1D implementation from the Graph 500 reference (Section 6).
+	LocalShortcut bool
+	// Price charges local computation to the simulated clock; nil prices
+	// nothing (pure correctness mode).
+	Price cluster.Pricer
+	// Trace records the per-level discovery profile into the output
+	// (costs nothing: it reuses the termination allreduce's totals).
+	Trace bool
+}
+
+// DefaultOptions returns the paper's tuned flat configuration.
+func DefaultOptions() Options {
+	return Options{Threads: 1, LocalShortcut: true}
+}
+
+// Output is the result of a distributed BFS, assembled globally.
+type Output struct {
+	Source int64
+	Dist   []int64 // global distance array, serial.Unreached if unreachable
+	Parent []int64 // global parent array
+	Levels int64   // number of frontier-expansion iterations executed
+	// TraversedEdges is the sum of degrees over reached vertices: the
+	// quantity the TEPS metric normalizes against (divided by 2 for
+	// symmetrized graphs by the harness).
+	TraversedEdges int64
+	// LevelFrontier, when tracing, holds the number of vertices
+	// discovered at each level (index 0 = level 1; the source itself is
+	// not counted).
+	LevelFrontier []int64
+}
+
+// threadBarrierOps approximates the instruction cost of one intra-node
+// thread barrier in model operations; the hybrid algorithm pays three per
+// level (Algorithm 2 lines 17, 20, 22).
+const threadBarrierOps = 4000
+
+// Run executes a BFS from source over the distributed graph on the given
+// world. The world size must equal the partition's rank count.
+func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
+	if w.P != g.Part.P {
+		panic("bfs1d: world size != partition size")
+	}
+	if source < 0 || source >= g.Part.N {
+		panic("bfs1d: source out of range")
+	}
+	t := opt.Threads
+	if t < 1 {
+		t = 1
+	}
+	pt := g.Part
+	p := pt.P
+	world := w.WorldGroup()
+
+	distLoc := make([][]int64, p)
+	parentLoc := make([][]int64, p)
+	levelsPer := make([]int64, p)
+	edgesPer := make([]int64, p)
+	var trace []int64
+
+	w.Run(func(r *cluster.Rank) {
+		me := r.ID()
+		lg := g.Locals[me]
+		nloc := pt.Count(me)
+		start := pt.Start(me)
+		price := opt.Price
+
+		dist := make([]int64, nloc)
+		parent := make([]int64, nloc)
+		for i := range dist {
+			dist[i] = serial.Unreached
+			parent[i] = serial.Unreached
+		}
+		// Initialization streams both arrays once.
+		r.ChargeMem(price, 0, 0, 2*nloc, 0)
+
+		fs := make([]int64, 0, 1024) // local indices of current frontier
+		if pt.Owner(source) == me {
+			sl := source - start
+			dist[sl] = 0
+			parent[sl] = source
+			fs = append(fs, sl)
+		}
+
+		send := make([][]int64, p)
+		var level int64 = 1
+		for {
+			// ---- Frontier expansion into per-owner buffers ----
+			for j := range send {
+				send[j] = send[j][:0]
+			}
+			var adjWords int64  // adjacency stream volume
+			var localHits int64 // targets handled via the local shortcut
+			ns := fs[:0:0]      // next frontier (fresh backing array)
+			for _, ul := range fs {
+				ug := start + ul
+				for _, v := range lg.Neighbors(ul) {
+					adjWords++
+					o := pt.Owner(v)
+					if opt.LocalShortcut && o == me {
+						vl := v - start
+						localHits++
+						if dist[vl] == serial.Unreached {
+							dist[vl] = level
+							parent[vl] = ug
+							ns = append(ns, vl)
+						}
+						continue
+					}
+					send[o] = append(send[o], v, ug)
+				}
+			}
+			var sendWords int64
+			for j := range send {
+				sendWords += int64(len(send[j]))
+			}
+			// Charge the expansion: one XAdj probe per frontier vertex,
+			// adjacency + buffer writes streamed, one owner computation
+			// per edge, one distance probe per shortcut target. The
+			// hybrid variant additionally merges thread-local buffers
+			// (one more streaming pass over the send volume, itself
+			// thread-parallel per Algorithm 2 line 19) and pays the three
+			// per-level thread barriers serially.
+			if price != nil {
+				par := price.MemCost(int64(len(fs))+localHits, nloc, adjWords+sendWords, adjWords)
+				serialOverhead := 0.0
+				if t > 1 {
+					par += price.MemCost(0, 0, sendWords, 0)
+					serialOverhead = price.MemCost(0, 0, 0, 3*threadBarrierOps)
+				}
+				r.Charge(par/float64(t) + serialOverhead)
+			}
+
+			// ---- All-to-all exchange (Algorithm 2 line 21) ----
+			recv := world.Alltoallv(r, send, "a2a")
+
+			// ---- Integrate received discoveries ----
+			var recvWords int64
+			for _, part := range recv {
+				recvWords += int64(len(part))
+				for k := 0; k+1 < len(part); k += 2 {
+					v, pu := part[k], part[k+1]
+					vl := v - start
+					if dist[vl] == serial.Unreached {
+						dist[vl] = level
+						parent[vl] = pu
+						ns = append(ns, vl)
+					}
+				}
+			}
+			// Unpacking is data-parallel across threads (Section 3.1).
+			if price != nil {
+				r.Charge(price.MemCost(recvWords/2, nloc, recvWords, 0) / float64(t))
+			}
+
+			// ---- Level termination test ----
+			total := world.AllreduceSum(r, int64(len(ns)), "allreduce")
+			if opt.Trace && me == 0 && total > 0 {
+				trace = append(trace, total)
+			}
+			if total == 0 {
+				break
+			}
+			fs = ns
+			level++
+		}
+
+		var traversed int64
+		for i := int64(0); i < nloc; i++ {
+			if dist[i] != serial.Unreached {
+				traversed += lg.XAdj[i+1] - lg.XAdj[i]
+			}
+		}
+		distLoc[me] = dist
+		parentLoc[me] = parent
+		// level counts the final iteration that discovered nothing;
+		// report the number of discovering levels (the source's
+		// eccentricity for connected graphs).
+		levelsPer[me] = level - 1
+		edgesPer[me] = traversed
+	})
+
+	out := &Output{Source: source, Levels: levelsPer[0], LevelFrontier: trace}
+	out.Dist = make([]int64, 0, pt.N)
+	out.Parent = make([]int64, 0, pt.N)
+	for i := 0; i < p; i++ {
+		out.Dist = append(out.Dist, distLoc[i]...)
+		out.Parent = append(out.Parent, parentLoc[i]...)
+		out.TraversedEdges += edgesPer[i]
+	}
+	return out
+}

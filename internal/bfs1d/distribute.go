@@ -1,0 +1,85 @@
+package bfs1d
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// LocalGraph is one rank's share of the distributed graph: a CSR over the
+// rank's owned vertices (rows indexed locally) whose adjacency entries
+// are global vertex ids.
+type LocalGraph struct {
+	XAdj []int64 // len Count+1
+	Adj  []int64 // global ids, sorted per row
+}
+
+// NumEdges returns the number of adjacency slots stored locally.
+func (lg *LocalGraph) NumEdges() int64 { return int64(len(lg.Adj)) }
+
+// Graph is a 1D-distributed graph: the partition plus each rank's local
+// CSR. It is built once and shared (read-only) by all rank goroutines,
+// the same way an MPI job holds its local subgraph in process memory.
+type Graph struct {
+	Part   Part1D
+	Locals []*LocalGraph
+}
+
+// Distribute partitions an edge list among p ranks by edge source owner.
+// Self-loops are dropped and duplicate adjacencies collapsed, matching
+// the paper's static CSR construction (Section 4.1).
+func Distribute(el *graph.EdgeList, p int) (*Graph, error) {
+	pt := Part1D{N: el.NumVerts, P: p}
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	for _, e := range el.Edges {
+		if e.U < 0 || e.U >= pt.N || e.V < 0 || e.V >= pt.N {
+			return nil, fmt.Errorf("bfs1d: edge (%d,%d) out of range", e.U, e.V)
+		}
+	}
+	g := &Graph{Part: pt, Locals: make([]*LocalGraph, p)}
+
+	// Bucket edges by owner, then build each local CSR.
+	buckets := make([][]graph.Edge, p)
+	for _, e := range el.Edges {
+		o := pt.Owner(e.U)
+		buckets[o] = append(buckets[o], e)
+	}
+	for rank := 0; rank < p; rank++ {
+		nloc := pt.Count(rank)
+		start := pt.Start(rank)
+		lg := &LocalGraph{XAdj: make([]int64, nloc+1)}
+		es := buckets[rank]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].U != es[j].U {
+				return es[i].U < es[j].U
+			}
+			return es[i].V < es[j].V
+		})
+		var prev graph.Edge
+		for i, e := range es {
+			if e.U == e.V {
+				continue // self-loop
+			}
+			if i > 0 && e == prev {
+				continue // duplicate
+			}
+			prev = e
+			lg.XAdj[e.U-start+1]++
+			lg.Adj = append(lg.Adj, e.V)
+		}
+		for i := int64(0); i < nloc; i++ {
+			lg.XAdj[i+1] += lg.XAdj[i]
+		}
+		g.Locals[rank] = lg
+	}
+	return g, nil
+}
+
+// Neighbors returns the global adjacency ids of local vertex u on the
+// given local graph.
+func (lg *LocalGraph) Neighbors(u int64) []int64 {
+	return lg.Adj[lg.XAdj[u]:lg.XAdj[u+1]]
+}

@@ -1,0 +1,268 @@
+package bfs2d
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/serial"
+	"repro/internal/spmat"
+	"repro/internal/spvec"
+)
+
+// VectorDist selects how BFS vectors are distributed over the grid.
+type VectorDist int
+
+const (
+	// Dist2D is the paper's 2D vector distribution: every process owns
+	// ~n/p vector entries (Section 3.2). This is the load-balanced layout.
+	Dist2D VectorDist = iota
+	// DistDiag places each vector block entirely on the diagonal process
+	// P(i,i), the layout the paper shows causes severe MPI-time imbalance
+	// (Figure 4). Requires a square grid.
+	DistDiag
+)
+
+// Options configures a 2D BFS run.
+type Options struct {
+	// Threads is the intra-rank threading width; the graph must have been
+	// distributed with the same strip count.
+	Threads int
+	// Kernel selects the local SpMSV accumulator (SPA, heap, or the
+	// polyalgorithm).
+	Kernel spmat.Kernel
+	// Vector selects the vector distribution.
+	Vector VectorDist
+	// Price charges local computation to the simulated clock.
+	Price cluster.Pricer
+	// Trace records the per-level discovery profile into the output
+	// (costs nothing: it reuses the termination allreduce's totals).
+	Trace bool
+}
+
+// DefaultOptions returns the paper's tuned flat 2D configuration.
+func DefaultOptions() Options {
+	return Options{Threads: 1, Kernel: spmat.KernelAuto, Vector: Dist2D}
+}
+
+// Output is the assembled result of a distributed 2D BFS.
+type Output struct {
+	Source         int64
+	Dist           []int64
+	Parent         []int64
+	Levels         int64
+	TraversedEdges int64
+	// LevelFrontier, when tracing, holds the number of vertices
+	// discovered at each level.
+	LevelFrontier []int64
+}
+
+const threadBarrierOps = 4000
+
+// Run executes a BFS from source on a grid of pr*pc ranks. The grid must
+// match the distribution of g, and must be square (the configuration the
+// paper evaluates; rectangular grids are handled by the analytic model
+// only).
+func Run(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Options) *Output {
+	pt := g.Part
+	if grid.Pr != pt.Pr || grid.Pc != pt.Pc {
+		panic("bfs2d: grid does not match distribution")
+	}
+	if !grid.Square() {
+		panic("bfs2d: emulated 2D BFS requires a square grid")
+	}
+	if source < 0 || source >= pt.N {
+		panic("bfs2d: source out of range")
+	}
+	switch opt.Vector {
+	case Dist2D:
+		return run2DVector(w, grid, g, source, opt)
+	case DistDiag:
+		return runDiagVector(w, grid, g, source, opt)
+	}
+	panic("bfs2d: unknown vector distribution")
+}
+
+// run2DVector is Algorithm 3 with the 2D vector distribution.
+func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Options) *Output {
+	pt := g.Part
+	t := opt.Threads
+	if t < 1 {
+		t = 1
+	}
+	p := w.P
+	distLoc := make([][]int64, p)
+	parentLoc := make([][]int64, p)
+	levelsPer := make([]int64, p)
+	var trace []int64
+
+	w.Run(func(r *cluster.Rank) {
+		me := r.ID()
+		i, j := grid.RowOf(me), grid.ColOf(me)
+		price := opt.Price
+		block := g.Blocks[i][j]
+		rowG := grid.RowGroup(r)
+		colG := grid.ColGroup(r)
+		world := w.WorldGroup()
+
+		vLo, vHi := pt.OwnedRange(i, j)
+		nOwn := vHi - vLo
+		dist := make([]int64, nOwn)
+		parent := make([]int64, nOwn)
+		for k := range dist {
+			dist[k] = serial.Unreached
+			parent[k] = serial.Unreached
+		}
+		r.ChargeMem(price, 0, 0, 2*nOwn, 0)
+
+		colLo := pt.ColStart(j)
+		rowLo := pt.RowStart(i)
+		rowHi := pt.RowStart(i + 1)
+
+		// frontier: sorted global indices within my owned vector range.
+		var frontier []int64
+		if si, sj := pt.VecOwner(source); si == i && sj == j {
+			dist[source-vLo] = 0
+			parent[source-vLo] = source
+			frontier = []int64{source}
+		}
+
+		spMSVOpts := spmat.SpMSVOpts{Kernel: opt.Kernel}
+		var localF, spOut spvec.Vec
+		var level int64 = 1
+		for {
+			// ---- TransposeVector (Algorithm 3 line 5) ----
+			// My piece (block i, piece j) moves to P(j,i), so process
+			// column i collectively receives vector block i.
+			transposed := grid.All.SendRecvAll(r, grid.TransposePeer, frontier, "transpose")
+
+			// ---- Expand: Allgatherv along the process column (line 6) ----
+			parts := colG.Allgatherv(r, transposed, "expand")
+			localF.Reset()
+			var gathered int64
+			for _, part := range parts {
+				gathered += int64(len(part))
+				for _, gv := range part {
+					// Frontier values are the vertices' own ids: the
+					// semiring multiply then delivers the correct parent.
+					localF.Append(gv-colLo, gv)
+				}
+			}
+			r.ChargeMem(price, 0, 0, 2*gathered, gathered)
+
+			// ---- Local SpMSV (line 7) ----
+			work := block.Work(&localF)
+			block.SpMSV(&spOut, &localF, spMSVOpts, t > 1)
+			if price != nil {
+				stripWS := (rowHi - rowLo) / int64(t)
+				par := price.MemCost(work, stripWS, work+int64(spOut.NNZ()), work)
+				serialOverhead := 0.0
+				if t > 1 {
+					serialOverhead = price.MemCost(0, 0, int64(spOut.NNZ()), threadBarrierOps)
+				}
+				r.Charge(par/float64(t) + serialOverhead)
+			}
+
+			// ---- Fold: Alltoallv along the process row (line 8) ----
+			send := make([][]int64, grid.Pc)
+			cursor := 0
+			for k := 0; k < grid.Pc; k++ {
+				pieceLo := pt.VecStart(i, k) - rowLo
+				pieceHi := pt.VecStart(i, k+1) - rowLo
+				for cursor < spOut.NNZ() && spOut.Ind[cursor] < pieceHi {
+					if spOut.Ind[cursor] >= pieceLo {
+						send[k] = append(send[k], spOut.Ind[cursor]+rowLo, spOut.Val[cursor])
+					}
+					cursor++
+				}
+			}
+			recv := rowG.Alltoallv(r, send, "fold")
+
+			// Merge the pc received pieces (select,max) over my range.
+			var recvWords int64
+			for _, part := range recv {
+				recvWords += int64(len(part))
+			}
+			merged := mergeFoldPieces(recv, vLo)
+			if price != nil {
+				r.Charge(price.MemCost(0, 0, 2*recvWords, recvWords) / float64(t))
+			}
+
+			// ---- Mask visited and update (lines 9-11) ----
+			// The new frontier goes into a fresh slice: the old one was
+			// handed by reference to the transpose peer and its column
+			// group, which may still be reading it.
+			frontier = make([]int64, 0, merged.NNZ())
+			for k, vl := range merged.Ind {
+				if parent[vl] == serial.Unreached {
+					parent[vl] = merged.Val[k]
+					dist[vl] = level
+					frontier = append(frontier, vl+vLo)
+				}
+			}
+			r.ChargeMem(price, int64(merged.NNZ()), nOwn, int64(merged.NNZ()), 0)
+
+			// ---- Termination (implicit in line 4) ----
+			total := world.AllreduceSum(r, int64(len(frontier)), "allreduce")
+			if opt.Trace && me == 0 && total > 0 {
+				trace = append(trace, total)
+			}
+			if total == 0 {
+				break
+			}
+			level++
+		}
+
+		distLoc[me] = dist
+		parentLoc[me] = parent
+		// Report discovering levels only (the last iteration found none).
+		levelsPer[me] = level - 1
+	})
+
+	out := assemble(pt, grid, g, source, distLoc, parentLoc, levelsPer[0])
+	out.LevelFrontier = trace
+	return out
+}
+
+// mergeFoldPieces converts the received fold pieces ((global index,
+// parent) pairs, each piece sorted) into a single local sparse vector
+// with (select,max) collision resolution.
+func mergeFoldPieces(recv [][]int64, vLo int64) *spvec.Vec {
+	var ind, val []int64
+	for _, part := range recv {
+		for k := 0; k+1 < len(part); k += 2 {
+			ind = append(ind, part[k]-vLo)
+			val = append(val, part[k+1])
+		}
+	}
+	return spvec.FromUnsorted(ind, val)
+}
+
+// assemble gathers the per-rank vector pieces into global arrays and
+// computes the traversed-edge count.
+func assemble(pt Part2D, grid *cluster.Grid, g *Graph, source int64,
+	distLoc, parentLoc [][]int64, levels int64) *Output {
+
+	out := &Output{Source: source, Levels: levels}
+	out.Dist = make([]int64, pt.N)
+	out.Parent = make([]int64, pt.N)
+	for id := 0; id < grid.Pr*grid.Pc; id++ {
+		i, j := grid.RowOf(id), grid.ColOf(id)
+		lo, _ := pt.OwnedRange(i, j)
+		copy(out.Dist[lo:], distLoc[id])
+		copy(out.Parent[lo:], parentLoc[id])
+	}
+	// Sum degrees of reached vertices: count column nonzeros per reached
+	// source column across blocks (the transposed matrix stores edge
+	// u->v at column u).
+	for bi := range g.Blocks {
+		for bj, blk := range g.Blocks[bi] {
+			colLo := pt.ColStart(bj)
+			for _, strip := range blk.Strips {
+				for k, c := range strip.JC {
+					if out.Dist[colLo+c] != serial.Unreached {
+						out.TraversedEdges += strip.CP[k+1] - strip.CP[k]
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package bfs2d
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/serial"
+	"repro/internal/spmat"
+	"repro/internal/spvec"
+)
+
+// runDiagVector is Algorithm 3 with the 1D ("diagonal") vector
+// distribution the paper measures in Figure 4: vector block i lives
+// entirely on the diagonal process P(i,i). The expand becomes a broadcast
+// from the diagonal down the process column, and the fold becomes a
+// gather to the diagonal along the process row — after which the diagonal
+// alone merges the pc partial vectors while the rest of its row idles.
+// That serial merge is the load imbalance the figure visualizes.
+func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Options) *Output {
+	pt := g.Part
+	t := opt.Threads
+	if t < 1 {
+		t = 1
+	}
+	p := w.P
+	distLoc := make([][]int64, p)
+	parentLoc := make([][]int64, p)
+	levelsPer := make([]int64, p)
+
+	w.Run(func(r *cluster.Rank) {
+		me := r.ID()
+		i, j := grid.RowOf(me), grid.ColOf(me)
+		price := opt.Price
+		block := g.Blocks[i][j]
+		rowG := grid.RowGroup(r)
+		colG := grid.ColGroup(r)
+		world := w.WorldGroup()
+		onDiag := i == j
+
+		rowLo := pt.RowStart(i)
+		rowHi := pt.RowStart(i + 1)
+		colLo := pt.ColStart(j)
+
+		// Diagonal ranks own the whole vector block; others own nothing.
+		var dist, parent []int64
+		if onDiag {
+			nOwn := rowHi - rowLo
+			dist = make([]int64, nOwn)
+			parent = make([]int64, nOwn)
+			for k := range dist {
+				dist[k] = serial.Unreached
+				parent[k] = serial.Unreached
+			}
+			r.ChargeMem(price, 0, 0, 2*nOwn, 0)
+		}
+
+		var frontier []int64 // global ids; non-empty only on the diagonal
+		if onDiag && pt.RowBlockOf(source) == i {
+			dist[source-rowLo] = 0
+			parent[source-rowLo] = source
+			frontier = []int64{source}
+		}
+
+		spMSVOpts := spmat.SpMSVOpts{Kernel: opt.Kernel}
+		var localF, spOut spvec.Vec
+		var level int64 = 1
+		for {
+			// ---- Expand: broadcast from the diagonal down the column ----
+			var payload []int64
+			if onDiag {
+				payload = frontier
+			}
+			gathered := colG.Bcast(r, j, payload, "expand")
+			localF.Reset()
+			for _, gv := range gathered {
+				localF.Append(gv-colLo, gv)
+			}
+			r.ChargeMem(price, 0, 0, 2*int64(len(gathered)), int64(len(gathered)))
+
+			// ---- Local SpMSV ----
+			work := block.Work(&localF)
+			block.SpMSV(&spOut, &localF, spMSVOpts, t > 1)
+			if price != nil {
+				stripWS := (rowHi - rowLo) / int64(t)
+				r.Charge(price.MemCost(work, stripWS, work+int64(spOut.NNZ()), work) / float64(t))
+			}
+
+			// ---- Fold: gather the row's partials at the diagonal ----
+			pairs := make([]int64, 0, 2*spOut.NNZ())
+			for k, vl := range spOut.Ind {
+				pairs = append(pairs, vl+rowLo, spOut.Val[k])
+			}
+			parts := rowG.Gatherv(r, i, pairs, "fold")
+
+			// The old frontier slice has been handed to the column; any
+			// replacement must be a fresh allocation.
+			frontier = nil
+			if onDiag {
+				var recvWords int64
+				for _, part := range parts {
+					recvWords += int64(len(part))
+				}
+				merged := mergeFoldPieces(parts, rowLo)
+				// The diagonal's serial merge of pc partial vectors: this
+				// is the extra local phase that makes the rest of the row
+				// sit idle (Figure 4's 3-4x MPI-time skew).
+				if price != nil {
+					logPc := int64(math.Ceil(math.Log2(float64(grid.Pc + 1))))
+					r.Charge(price.MemCost(recvWords/2, rowHi-rowLo, 2*recvWords, recvWords*logPc))
+				}
+				frontier = make([]int64, 0, merged.NNZ())
+				for k, vl := range merged.Ind {
+					if parent[vl] == serial.Unreached {
+						parent[vl] = merged.Val[k]
+						dist[vl] = level
+						frontier = append(frontier, vl+rowLo)
+					}
+				}
+			}
+
+			// ---- Termination: global Allreduce (as in Figure 4's loop) ----
+			total := world.AllreduceSum(r, int64(len(frontier)), "allreduce")
+			if total == 0 {
+				break
+			}
+			level++
+		}
+
+		distLoc[me] = dist
+		parentLoc[me] = parent
+		// Report discovering levels only (the last iteration found none).
+		levelsPer[me] = level - 1
+	})
+
+	// Assemble from the diagonal ranks, which own whole blocks.
+	out := &Output{Source: source, Levels: levelsPer[0]}
+	out.Dist = make([]int64, pt.N)
+	out.Parent = make([]int64, pt.N)
+	for b := 0; b < grid.Pr; b++ {
+		id := b*grid.Pc + b
+		copy(out.Dist[pt.RowStart(b):], distLoc[id])
+		copy(out.Parent[pt.RowStart(b):], parentLoc[id])
+	}
+	for bi := range g.Blocks {
+		for bj, blk := range g.Blocks[bi] {
+			colLo := pt.ColStart(bj)
+			for _, strip := range blk.Strips {
+				for k, c := range strip.JC {
+					if out.Dist[colLo+c] != serial.Unreached {
+						out.TraversedEdges += strip.CP[k+1] - strip.CP[k]
+					}
+				}
+			}
+		}
+	}
+	return out
+}

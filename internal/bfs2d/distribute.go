@@ -1,0 +1,78 @@
+package bfs2d
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/spmat"
+)
+
+// Graph is a 2D-distributed graph: the partition plus one hypersparse
+// matrix block per grid position, stored as a row-split set of DCSC
+// strips (one strip per thread; a single strip for the flat algorithm).
+//
+// Blocks store the transposed adjacency matrix, as Algorithm 3 assumes:
+// the entry (v, u) of block (RowBlockOf(v), ColBlockOf(u)) represents the
+// directed edge u → v, so SpMSV with a frontier over columns u yields
+// discoveries over rows v.
+type Graph struct {
+	Part   Part2D
+	Blocks [][]*spmat.RowSplit // [i][j], local row/col indices
+}
+
+// Distribute builds the 2D distribution of an edge list on a pr × pc
+// grid, splitting each block into threads row strips.
+func Distribute(el *graph.EdgeList, pr, pc, threads int) (*Graph, error) {
+	pt := Part2D{N: el.NumVerts, Pr: pr, Pc: pc}
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	buckets := make([][][]spmat.Triple, pr)
+	for i := range buckets {
+		buckets[i] = make([][]spmat.Triple, pc)
+	}
+	for _, e := range el.Edges {
+		if e.U < 0 || e.U >= pt.N || e.V < 0 || e.V >= pt.N {
+			return nil, fmt.Errorf("bfs2d: edge (%d,%d) out of range", e.U, e.V)
+		}
+		if e.U == e.V {
+			continue // self-loops never change BFS output
+		}
+		// Transposed entry: row = destination, col = source.
+		i := pt.RowBlockOf(e.V)
+		j := pt.ColBlockOf(e.U)
+		buckets[i][j] = append(buckets[i][j], spmat.Triple{
+			Row: e.V - pt.RowStart(i),
+			Col: e.U - pt.ColStart(j),
+		})
+	}
+	g := &Graph{Part: pt, Blocks: make([][]*spmat.RowSplit, pr)}
+	for i := 0; i < pr; i++ {
+		g.Blocks[i] = make([]*spmat.RowSplit, pc)
+		rows := pt.RowStart(i+1) - pt.RowStart(i)
+		for j := 0; j < pc; j++ {
+			cols := pt.ColStart(j+1) - pt.ColStart(j)
+			rs, err := spmat.NewRowSplit(rows, cols, buckets[i][j], threads)
+			if err != nil {
+				return nil, err
+			}
+			g.Blocks[i][j] = rs
+			buckets[i][j] = nil
+		}
+	}
+	return g, nil
+}
+
+// NNZ returns the total stored nonzeros across all blocks.
+func (g *Graph) NNZ() int64 {
+	var n int64
+	for i := range g.Blocks {
+		for j := range g.Blocks[i] {
+			n += g.Blocks[i][j].NNZ()
+		}
+	}
+	return n
+}

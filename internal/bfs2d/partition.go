@@ -1,0 +1,92 @@
+// Package bfs2d implements the paper's 2D sparse-matrix partitioned BFS
+// (Algorithm 3): the adjacency matrix is checkerboard-partitioned on a
+// pr × pc process grid, and each BFS level is a sparse matrix-sparse
+// vector product (SpMSV) over the (select,max) semiring with an
+// Allgatherv "expand" along process columns and an Alltoallv "fold" along
+// process rows.
+//
+// Vectors use the paper's 2D vector distribution: vector block i (the
+// n/pr-sized range aligned with matrix row block i) is owned collectively
+// by process row i, each of its pc members holding one piece. The
+// diagonal-only ("1D") vector distribution the paper measures against in
+// Figure 4 is available as an option.
+package bfs2d
+
+import "fmt"
+
+// Part2D maps global indices to the 2D block structure of a pr × pc grid.
+type Part2D struct {
+	N      int64
+	Pr, Pc int
+}
+
+// Validate reports whether the partition parameters are usable.
+func (pt Part2D) Validate() error {
+	if pt.N < 1 || pt.Pr < 1 || pt.Pc < 1 {
+		return fmt.Errorf("bfs2d: invalid partition n=%d grid=%dx%d", pt.N, pt.Pr, pt.Pc)
+	}
+	if int64(pt.Pr)*int64(pt.Pc) > pt.N {
+		return fmt.Errorf("bfs2d: more ranks (%d) than vertices (%d)", pt.Pr*pt.Pc, pt.N)
+	}
+	return nil
+}
+
+// RowStart returns the first global row of matrix row block i; row blocks
+// coincide with vector blocks.
+func (pt Part2D) RowStart(i int) int64 { return int64(i) * pt.N / int64(pt.Pr) }
+
+// ColStart returns the first global column of matrix column block j.
+func (pt Part2D) ColStart(j int) int64 { return int64(j) * pt.N / int64(pt.Pc) }
+
+// RowBlockOf returns the row block containing global index v.
+func (pt Part2D) RowBlockOf(v int64) int {
+	i := int(v * int64(pt.Pr) / pt.N)
+	for v < pt.RowStart(i) {
+		i--
+	}
+	for v >= pt.RowStart(i+1) {
+		i++
+	}
+	return i
+}
+
+// ColBlockOf returns the column block containing global index v.
+func (pt Part2D) ColBlockOf(v int64) int {
+	j := int(v * int64(pt.Pc) / pt.N)
+	for v < pt.ColStart(j) {
+		j--
+	}
+	for v >= pt.ColStart(j+1) {
+		j++
+	}
+	return j
+}
+
+// VecStart returns the first global index of piece j of vector block b:
+// within block b, the pc pieces partition the block evenly. Piece j of
+// block b is owned by grid process P(b, j).
+func (pt Part2D) VecStart(b, j int) int64 {
+	lo, hi := pt.RowStart(b), pt.RowStart(b+1)
+	return lo + (hi-lo)*int64(j)/int64(pt.Pc)
+}
+
+// OwnedRange returns the global vector range [lo, hi) owned by the rank
+// at grid position (i, j) under the 2D vector distribution.
+func (pt Part2D) OwnedRange(i, j int) (lo, hi int64) {
+	return pt.VecStart(i, j), pt.VecStart(i, j+1)
+}
+
+// VecOwner returns the grid position (i, j) owning global vector index v.
+func (pt Part2D) VecOwner(v int64) (i, j int) {
+	i = pt.RowBlockOf(v)
+	lo, hi := pt.RowStart(i), pt.RowStart(i+1)
+	span := hi - lo
+	j = int((v - lo) * int64(pt.Pc) / span)
+	for v < pt.VecStart(i, j) {
+		j--
+	}
+	for v >= pt.VecStart(i, j+1) {
+		j++
+	}
+	return i, j
+}

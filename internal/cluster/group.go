@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a communicator: an ordered subset of world ranks that perform
+// collectives together. Groups are created before Run (or collectively
+// inside it, provided every member creates the same groups in the same
+// order). A rank's position within the group is its group rank.
+type Group struct {
+	world   *World
+	members []int       // world ids, in group-rank order
+	index   map[int]int // world id -> group rank
+
+	mu      sync.Mutex
+	cv      *sync.Cond
+	gen     uint64
+	arrived int
+	deposit []any
+	result  []any
+	clocks  []float64
+	leave   float64 // clock value every participant leaves with
+	// poisoned records a panic raised while completing a collective; it
+	// is re-raised on every waiting participant so a failed operation
+	// cannot deadlock the rest of the group.
+	poisoned any
+}
+
+// NewGroup creates a communicator over the given world ranks. The order
+// of members defines group ranks.
+func (w *World) NewGroup(members []int) *Group {
+	if len(members) == 0 {
+		panic("cluster: empty group")
+	}
+	g := &Group{
+		world:   w,
+		members: append([]int(nil), members...),
+		index:   make(map[int]int, len(members)),
+		deposit: make([]any, len(members)),
+		result:  make([]any, len(members)),
+		clocks:  make([]float64, len(members)),
+	}
+	g.cv = sync.NewCond(&g.mu)
+	for i, m := range members {
+		if m < 0 || m >= w.P {
+			panic(fmt.Sprintf("cluster: member %d outside world of %d", m, w.P))
+		}
+		if _, dup := g.index[m]; dup {
+			panic(fmt.Sprintf("cluster: duplicate member %d", m))
+		}
+		g.index[m] = i
+	}
+	return g
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// RankIn returns the group rank of r, or -1 if r is not a member.
+func (g *Group) RankIn(r *Rank) int {
+	if i, ok := g.index[r.id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Member returns the world id of group rank i.
+func (g *Group) Member(i int) int { return g.members[i] }
+
+// collective is the SPMD rendezvous shared by all collective operations.
+// Each member deposits its contribution; the last arriver calls finish
+// with all deposits (indexed by group rank) to compute per-member results
+// and the operation's modeled cost; every member leaves with its result,
+// its clock advanced to max(entry clocks) + cost, and the time spent
+// (including waiting for stragglers) booked to tag.
+func (g *Group) collective(r *Rank, deposit any, tag string,
+	finish func(deposits []any) (results []any, cost float64)) any {
+
+	me := g.RankIn(r)
+	if me < 0 {
+		panic(fmt.Sprintf("cluster: rank %d not in group", r.id))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.poisoned != nil {
+		panic(g.poisoned)
+	}
+
+	myGen := g.gen
+	g.deposit[me] = deposit
+	g.clocks[me] = r.clock
+	g.arrived++
+	if g.arrived == len(g.members) {
+		// Complete the operation; if finishing panics (malformed input
+		// detected at completion time), poison the group and wake the
+		// waiters so the failure surfaces on every participant instead
+		// of deadlocking them.
+		func() {
+			defer func() {
+				if e := recover(); e != nil {
+					g.poisoned = e
+					g.cv.Broadcast()
+					panic(e)
+				}
+			}()
+			results, cost := finish(g.deposit)
+			if len(results) != len(g.members) {
+				panic("cluster: finish returned wrong result count")
+			}
+			var maxClock float64
+			for _, c := range g.clocks {
+				if c > maxClock {
+					maxClock = c
+				}
+			}
+			g.leave = maxClock + cost
+			copy(g.result, results)
+		}()
+		for i := range g.deposit {
+			g.deposit[i] = nil
+		}
+		g.arrived = 0
+		g.gen++
+		g.cv.Broadcast()
+	} else {
+		for g.gen == myGen && g.poisoned == nil {
+			g.cv.Wait()
+		}
+		if g.poisoned != nil {
+			panic(g.poisoned)
+		}
+	}
+	out := g.result[me]
+	entry := g.clocks[me]
+	r.commTime[tag] += g.leave - entry
+	r.clock = g.leave
+	return out
+}
+
+// Barrier synchronizes the group.
+func (g *Group) Barrier(r *Rank, tag string) {
+	g.collective(r, nil, tag, func([]any) ([]any, float64) {
+		return make([]any, len(g.members)), g.world.Model.Barrier(len(g.members))
+	})
+}
+
+// Alltoallv performs an irregular personalized all-to-all: send[j] goes
+// to group rank j; the returned slice holds, at position i, the data
+// received from group rank i. Slices are passed by reference — receivers
+// must not mutate them, mirroring MPI buffer discipline.
+func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
+	if len(send) != len(g.members) {
+		panic("cluster: Alltoallv send buffer count != group size")
+	}
+	var sent int64
+	for _, s := range send {
+		sent += int64(len(s))
+	}
+	r.sentWords += sent
+	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+		n := len(g.members)
+		results := make([]any, n)
+		recvCounts := make([]int64, n)
+		sendCounts := make([]int64, n)
+		for src := 0; src < n; src++ {
+			mat := deposits[src].([][]int64)
+			for dst := 0; dst < n; dst++ {
+				sendCounts[src] += int64(len(mat[dst]))
+				recvCounts[dst] += int64(len(mat[dst]))
+			}
+		}
+		// Per-node cost is dominated by the busiest participant; the
+		// collective completes when the slowest node is done.
+		var maxSend, maxRecv int64
+		for i := 0; i < n; i++ {
+			if sendCounts[i] > maxSend {
+				maxSend = sendCounts[i]
+			}
+			if recvCounts[i] > maxRecv {
+				maxRecv = recvCounts[i]
+			}
+		}
+		cost := g.world.Model.Alltoallv(n, maxSend, maxRecv)
+		for dst := 0; dst < n; dst++ {
+			recv := make([][]int64, n)
+			for src := 0; src < n; src++ {
+				recv[src] = deposits[src].([][]int64)[dst]
+			}
+			results[dst] = recv
+		}
+		return results, cost
+	}).([][]int64)
+	for _, part := range out {
+		r.recvWords += int64(len(part))
+	}
+	return out
+}
+
+// Allgatherv gathers every member's contribution at every member. The
+// result holds, at position i, the data contributed by group rank i.
+func (g *Group) Allgatherv(r *Rank, send []int64, tag string) [][]int64 {
+	r.sentWords += int64(len(send))
+	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+		n := len(g.members)
+		parts := make([][]int64, n)
+		var total int64
+		for i := 0; i < n; i++ {
+			parts[i] = deposits[i].([]int64)
+			total += int64(len(parts[i]))
+		}
+		cost := g.world.Model.Allgatherv(n, total)
+		results := make([]any, n)
+		for i := range results {
+			results[i] = parts
+		}
+		return results, cost
+	}).([][]int64)
+	for i, part := range out {
+		if g.members[i] != r.id {
+			r.recvWords += int64(len(part))
+		}
+	}
+	return out
+}
+
+// AllreduceSum returns the sum of every member's value.
+func (g *Group) AllreduceSum(r *Rank, v int64, tag string) int64 {
+	return g.collective(r, v, tag, func(deposits []any) ([]any, float64) {
+		var sum int64
+		for _, d := range deposits {
+			sum += d.(int64)
+		}
+		results := make([]any, len(g.members))
+		for i := range results {
+			results[i] = sum
+		}
+		return results, g.world.Model.Allreduce(len(g.members), 1)
+	}).(int64)
+}
+
+// AllreduceMax returns the max of every member's value.
+func (g *Group) AllreduceMax(r *Rank, v float64, tag string) float64 {
+	return g.collective(r, v, tag, func(deposits []any) ([]any, float64) {
+		mx := deposits[0].(float64)
+		for _, d := range deposits[1:] {
+			if f := d.(float64); f > mx {
+				mx = f
+			}
+		}
+		results := make([]any, len(g.members))
+		for i := range results {
+			results[i] = mx
+		}
+		return results, g.world.Model.Allreduce(len(g.members), 1)
+	}).(float64)
+}
+
+// Bcast distributes root's data (by group rank) to all members.
+func (g *Group) Bcast(r *Rank, root int, data []int64, tag string) []int64 {
+	if g.RankIn(r) == root {
+		r.sentWords += int64(len(data)) * int64(len(g.members)-1)
+	}
+	out := g.collective(r, data, tag, func(deposits []any) ([]any, float64) {
+		payload := deposits[root].([]int64)
+		results := make([]any, len(g.members))
+		for i := range results {
+			results[i] = payload
+		}
+		return results, g.world.Model.Bcast(len(g.members), int64(len(payload)))
+	}).([]int64)
+	if g.RankIn(r) != root {
+		r.recvWords += int64(len(out))
+	}
+	return out
+}
+
+// Gatherv collects every member's contribution at root (by group rank);
+// non-root members receive nil. The result at root holds contributions
+// indexed by group rank.
+func (g *Group) Gatherv(r *Rank, root int, send []int64, tag string) [][]int64 {
+	r.sentWords += int64(len(send))
+	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+		n := len(g.members)
+		parts := make([][]int64, n)
+		var total int64
+		for i := 0; i < n; i++ {
+			parts[i] = deposits[i].([]int64)
+			total += int64(len(parts[i]))
+		}
+		results := make([]any, n)
+		results[root] = parts
+		return results, g.world.Model.Gatherv(n, total)
+	})
+	if out == nil {
+		return nil
+	}
+	parts := out.([][]int64)
+	for i, part := range parts {
+		if g.members[i] != r.id {
+			r.recvWords += int64(len(part))
+		}
+	}
+	return parts
+}
+
+// SendRecv performs a pairwise exchange between r and the member with
+// group rank peer: both must call SendRecv naming each other. It is built
+// on the group rendezvous, so every group member must participate in the
+// same round (possibly exchanging with itself), which matches how the 2D
+// algorithm's TransposeVector uses it (a full permutation exchange).
+func (g *Group) SendRecvAll(r *Rank, peerOf func(groupRank int) int, send []int64, tag string) []int64 {
+	me := g.RankIn(r)
+	peer := peerOf(me)
+	if peer < 0 || peer >= len(g.members) {
+		panic("cluster: SendRecvAll peer out of range")
+	}
+	if peer != me {
+		r.sentWords += int64(len(send))
+	}
+	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+		n := len(g.members)
+		results := make([]any, n)
+		var maxWords int64
+		for i := 0; i < n; i++ {
+			p := peerOf(i)
+			if peerOf(p) != i {
+				panic("cluster: SendRecvAll permutation is not an involution")
+			}
+			results[i] = deposits[p].([]int64)
+			if w := int64(len(deposits[p].([]int64))); w > maxWords && p != i {
+				maxWords = w
+			}
+		}
+		return results, g.world.Model.PointToPoint(maxWords)
+	}).([]int64)
+	if peer != me {
+		r.recvWords += int64(len(out))
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package graph
+
+import "sort"
+
+// This file implements vertex relabeling strategies. The paper uses
+// random relabeling for load balance (Section 4.4) and names
+// locality-improving orderings — Cuthill-McKee among them — as the
+// classical alternative, with partitioning-based communication reduction
+// listed as future work (Section 7). Reverse Cuthill-McKee trades the
+// random shuffle's perfect expected balance for locality: after RCM,
+// most edges connect nearby labels, so contiguous 1D blocks cut far
+// fewer edges and the all-to-all carries less traffic.
+
+// RCMOrder computes the Reverse Cuthill-McKee ordering of an undirected
+// CSR graph and returns it as a relabeling permutation: perm[old] = new.
+// Components are processed in order of their minimum-degree peripheral
+// vertex; within a component, vertices are visited breadth-first with
+// neighbors enqueued in increasing-degree order, and the final order is
+// reversed.
+func RCMOrder(g *CSR) []int64 {
+	n := g.NumVerts
+	order := make([]int64, 0, n) // new label -> old vertex
+	visited := make([]bool, n)
+
+	// Start vertices: process components by ascending degree of their
+	// cheapest vertex, the classic pseudo-peripheral heuristic's cheap
+	// approximation.
+	byDegree := make([]int64, n)
+	for i := range byDegree {
+		byDegree[i] = int64(i)
+	}
+	sort.Slice(byDegree, func(a, b int) bool {
+		da, db := g.Degree(byDegree[a]), g.Degree(byDegree[b])
+		if da != db {
+			return da < db
+		}
+		return byDegree[a] < byDegree[b]
+	})
+
+	neighbors := make([]int64, 0, 64)
+	for _, s := range byDegree {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		order = append(order, s)
+		for head := len(order) - 1; head < len(order); head++ {
+			u := order[head]
+			neighbors = neighbors[:0]
+			for _, v := range g.Neighbors(u) {
+				if !visited[v] {
+					visited[v] = true
+					neighbors = append(neighbors, v)
+				}
+			}
+			sort.Slice(neighbors, func(a, b int) bool {
+				da, db := g.Degree(neighbors[a]), g.Degree(neighbors[b])
+				if da != db {
+					return da < db
+				}
+				return neighbors[a] < neighbors[b]
+			})
+			order = append(order, neighbors...)
+		}
+	}
+
+	// Reverse, then invert into a relabeling permutation.
+	perm := make([]int64, n)
+	for newLabel, old := range order {
+		perm[old] = n - 1 - int64(newLabel)
+	}
+	return perm
+}
+
+// Bandwidth returns the matrix bandwidth of the graph under its current
+// labeling: the maximum |u - v| over edges. RCM exists to shrink this.
+func Bandwidth(g *CSR) int64 {
+	var bw int64
+	for u := int64(0); u < g.NumVerts; u++ {
+		for _, v := range g.Neighbors(u) {
+			d := u - v
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// CutEdges returns the number of directed adjacencies whose endpoints
+// fall in different contiguous 1D blocks when the vertex range [0,n) is
+// split into p equal blocks — the communication volume proxy for the 1D
+// algorithm.
+func CutEdges(g *CSR, p int) int64 {
+	if p < 1 {
+		return 0
+	}
+	blockOf := func(v int64) int64 {
+		return v * int64(p) / g.NumVerts
+	}
+	var cut int64
+	for u := int64(0); u < g.NumVerts; u++ {
+		bu := blockOf(u)
+		for _, v := range g.Neighbors(u) {
+			if blockOf(v) != bu {
+				cut++
+			}
+		}
+	}
+	return cut
+}

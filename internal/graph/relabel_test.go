@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+// gridGraph builds a k x k 2D mesh, the classic structured input where
+// RCM shines.
+func gridGraph(k int64) *EdgeList {
+	el := &EdgeList{NumVerts: k * k}
+	id := func(r, c int64) int64 { return r*k + c }
+	for r := int64(0); r < k; r++ {
+		for c := int64(0); c < k; c++ {
+			if c+1 < k {
+				el.Edges = append(el.Edges, Edge{id(r, c), id(r, c+1)})
+			}
+			if r+1 < k {
+				el.Edges = append(el.Edges, Edge{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return el.Symmetrize()
+}
+
+func applyPerm(t *testing.T, el *EdgeList, perm []int64) *CSR {
+	t.Helper()
+	clone := &EdgeList{NumVerts: el.NumVerts, Edges: append([]Edge(nil), el.Edges...)}
+	if err := RelabelEdges(clone, perm); err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildCSR(clone, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := int64(rng.Intn(100) + 1)
+		el := &EdgeList{NumVerts: n}
+		for i := 0; i < rng.Intn(300); i++ {
+			el.Edges = append(el.Edges, Edge{rng.Int64n(n), rng.Int64n(n)})
+		}
+		g, err := BuildCSR(el.Symmetrize(), true)
+		if err != nil {
+			return false
+		}
+		perm := RCMOrder(g)
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRCMShrinksBandwidthOnMesh(t *testing.T) {
+	el := gridGraph(24)
+	// Scramble first so the original labels carry no structure.
+	rng := prng.New(0xbad)
+	scramble := rng.Perm(el.NumVerts)
+	scrambled := applyPerm(t, el, scramble)
+	before := Bandwidth(scrambled)
+
+	perm := RCMOrder(scrambled)
+	sEl := &EdgeList{NumVerts: el.NumVerts, Edges: append([]Edge(nil), el.Edges...)}
+	if err := RelabelEdges(sEl, scramble); err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(applyPerm(t, sEl, perm))
+	if after >= before/4 {
+		t.Errorf("RCM bandwidth %d not well below scrambled %d", after, before)
+	}
+}
+
+func TestRCMReducesCutEdgesOnMesh(t *testing.T) {
+	el := gridGraph(24)
+	rng := prng.New(0xcab)
+	scramble := rng.Perm(el.NumVerts)
+	scrambled := applyPerm(t, el, scramble)
+	const p = 8
+	randomCut := CutEdges(scrambled, p)
+
+	perm := RCMOrder(scrambled)
+	sEl := &EdgeList{NumVerts: el.NumVerts, Edges: append([]Edge(nil), el.Edges...)}
+	if err := RelabelEdges(sEl, scramble); err != nil {
+		t.Fatal(err)
+	}
+	rcmCut := CutEdges(applyPerm(t, sEl, perm), p)
+	if rcmCut >= randomCut/4 {
+		t.Errorf("RCM cut %d not well below random cut %d", rcmCut, randomCut)
+	}
+}
+
+func TestRCMPreservesBFSCorrectness(t *testing.T) {
+	// Relabeling must not change distances, only names.
+	el := gridGraph(10)
+	g, err := BuildCSR(el, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := RCMOrder(g)
+	relabeled := applyPerm(t, el, perm)
+	if g.NumEdges() != relabeled.NumEdges() {
+		t.Errorf("edge count changed: %d vs %d", g.NumEdges(), relabeled.NumEdges())
+	}
+	if g.Stats().Max != relabeled.Stats().Max {
+		t.Errorf("degree distribution changed")
+	}
+}
+
+func TestCutEdgesDegenerate(t *testing.T) {
+	el := gridGraph(4)
+	g, err := BuildCSR(el, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CutEdges(g, 1) != 0 {
+		t.Error("single block should cut nothing")
+	}
+	if CutEdges(g, 0) != 0 {
+		t.Error("p=0 should cut nothing")
+	}
+}
+
+func TestBandwidthPath(t *testing.T) {
+	el := &EdgeList{NumVerts: 5, Edges: []Edge{{0, 4}, {1, 2}}}
+	g, err := BuildCSR(el.Symmetrize(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := Bandwidth(g); bw != 4 {
+		t.Errorf("bandwidth = %d, want 4", bw)
+	}
+}

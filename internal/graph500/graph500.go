@@ -1,0 +1,127 @@
+// Package graph500 provides the benchmark methodology of the Graph 500
+// specification as used in the paper's Section 6: search-key selection
+// from the large connected component, the TEPS (traversed edges per
+// second) metric, and summary statistics over a batch of searches.
+package graph500
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/serial"
+)
+
+// SelectSources returns k distinct BFS search keys sampled uniformly from
+// the largest connected component, restricted to vertices with at least
+// one neighbor — the paper's protocol ("at least 16 randomly-chosen
+// sources ... that appear in the large component").
+func SelectSources(ref *graph.CSR, k int, seed uint64) []int64 {
+	comp, count := graph.ConnectedComponents(ref)
+	id, _ := graph.LargestComponent(comp, count)
+	rng := prng.NewStream(seed, 0x5fc)
+	return graph.SampleSources(ref, comp, id, k, rng.Int64n)
+}
+
+// TEPS returns the traversed-edges-per-second rate for a search that
+// visited the given number of undirected input edges in t seconds.
+func TEPS(edges int64, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(edges) / t
+}
+
+// UndirectedEdges converts a traversed-adjacency count (sum of degrees
+// over reached vertices in a symmetrized graph) into the undirected edge
+// count the Graph 500 metric normalizes by.
+func UndirectedEdges(traversedAdjacencies int64) int64 {
+	return traversedAdjacencies / 2
+}
+
+// Run records one timed search.
+type Run struct {
+	Source   int64
+	Time     float64 // seconds (simulated machine time)
+	CommTime float64 // seconds spent in communication, max over ranks
+	Edges    int64   // undirected edges traversed
+	Levels   int64
+}
+
+// Stats summarizes a batch of searches the way Graph 500 reports them.
+type Stats struct {
+	NumRuns int
+	// Times.
+	MeanTime   float64
+	MinTime    float64
+	MaxTime    float64
+	MedianTime float64
+	// Communication (mean over runs of the per-run max-over-ranks).
+	MeanCommTime float64
+	// Rates. HarmonicMeanTEPS is the headline Graph 500 statistic: the
+	// harmonic mean is the edge-weighted correct aggregate of rates.
+	HarmonicMeanTEPS float64
+	MinTEPS          float64
+	MaxTEPS          float64
+	// Mean levels per search.
+	MeanLevels float64
+}
+
+// Summarize computes batch statistics. It panics on an empty batch.
+func Summarize(runs []Run) Stats {
+	if len(runs) == 0 {
+		panic("graph500: no runs to summarize")
+	}
+	st := Stats{NumRuns: len(runs), MinTime: math.Inf(1), MinTEPS: math.Inf(1)}
+	times := make([]float64, 0, len(runs))
+	var invSum float64
+	for _, r := range runs {
+		teps := TEPS(r.Edges, r.Time)
+		st.MeanTime += r.Time
+		st.MeanCommTime += r.CommTime
+		st.MeanLevels += float64(r.Levels)
+		times = append(times, r.Time)
+		if r.Time < st.MinTime {
+			st.MinTime = r.Time
+		}
+		if r.Time > st.MaxTime {
+			st.MaxTime = r.Time
+		}
+		if teps < st.MinTEPS {
+			st.MinTEPS = teps
+		}
+		if teps > st.MaxTEPS {
+			st.MaxTEPS = teps
+		}
+		if teps > 0 {
+			invSum += 1 / teps
+		}
+	}
+	n := float64(len(runs))
+	st.MeanTime /= n
+	st.MeanCommTime /= n
+	st.MeanLevels /= n
+	if invSum > 0 {
+		st.HarmonicMeanTEPS = n / invSum
+	}
+	sort.Float64s(times)
+	if len(times)%2 == 1 {
+		st.MedianTime = times[len(times)/2]
+	} else {
+		st.MedianTime = (times[len(times)/2-1] + times[len(times)/2]) / 2
+	}
+	return st
+}
+
+// ValidateOutput checks a distributed BFS output against the Graph 500
+// validation rules plus an independent serial reference.
+func ValidateOutput(ref *graph.CSR, source int64, dist, parent []int64) error {
+	res := &serial.Result{Source: source, Dist: dist, Parent: parent}
+	sref := serial.BFS(ref, source)
+	if err := serial.Validate(ref, res, sref); err != nil {
+		return fmt.Errorf("graph500: %w", err)
+	}
+	return nil
+}

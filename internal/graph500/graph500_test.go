@@ -1,0 +1,119 @@
+package graph500
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rmat"
+	"repro/internal/serial"
+)
+
+func buildRef(t *testing.T, scale, ef int, seed uint64) *graph.CSR {
+	t.Helper()
+	el, err := rmat.Graph500(scale, ef, seed).GenerateUndirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := graph.BuildCSR(el, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func TestSelectSources(t *testing.T) {
+	ref := buildRef(t, 11, 16, 0x51)
+	srcs := SelectSources(ref, 16, 7)
+	if len(srcs) != 16 {
+		t.Fatalf("got %d sources", len(srcs))
+	}
+	comp, count := graph.ConnectedComponents(ref)
+	id, _ := graph.LargestComponent(comp, count)
+	seen := map[int64]bool{}
+	for _, s := range srcs {
+		if comp[s] != id {
+			t.Errorf("source %d outside the largest component", s)
+		}
+		if ref.Degree(s) == 0 {
+			t.Errorf("source %d has no neighbors", s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate source %d", s)
+		}
+		seen[s] = true
+	}
+	// Deterministic in the seed.
+	again := SelectSources(ref, 16, 7)
+	for i := range srcs {
+		if srcs[i] != again[i] {
+			t.Fatal("source selection not deterministic")
+		}
+	}
+}
+
+func TestTEPS(t *testing.T) {
+	if got := TEPS(1000, 0.5); got != 2000 {
+		t.Errorf("TEPS = %v", got)
+	}
+	if got := TEPS(1000, 0); got != 0 {
+		t.Errorf("TEPS with zero time = %v", got)
+	}
+	if got := UndirectedEdges(17); got != 8 {
+		t.Errorf("UndirectedEdges(17) = %d", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	runs := []Run{
+		{Time: 1, CommTime: 0.5, Edges: 1000, Levels: 5},
+		{Time: 2, CommTime: 1.0, Edges: 1000, Levels: 7},
+		{Time: 4, CommTime: 2.0, Edges: 1000, Levels: 6},
+	}
+	st := Summarize(runs)
+	if st.NumRuns != 3 {
+		t.Errorf("NumRuns = %d", st.NumRuns)
+	}
+	if math.Abs(st.MeanTime-7.0/3) > 1e-12 {
+		t.Errorf("MeanTime = %v", st.MeanTime)
+	}
+	if st.MinTime != 1 || st.MaxTime != 4 || st.MedianTime != 2 {
+		t.Errorf("min/max/median = %v/%v/%v", st.MinTime, st.MaxTime, st.MedianTime)
+	}
+	// Harmonic mean of 1000, 500, 250 TEPS = 3/(1/1000+1/500+1/250).
+	want := 3.0 / (1.0/1000 + 1.0/500 + 1.0/250)
+	if math.Abs(st.HarmonicMeanTEPS-want) > 1e-9 {
+		t.Errorf("HarmonicMeanTEPS = %v, want %v", st.HarmonicMeanTEPS, want)
+	}
+	if st.MinTEPS != 250 || st.MaxTEPS != 1000 {
+		t.Errorf("min/max TEPS = %v/%v", st.MinTEPS, st.MaxTEPS)
+	}
+	if math.Abs(st.MeanLevels-6) > 1e-12 {
+		t.Errorf("MeanLevels = %v", st.MeanLevels)
+	}
+	if math.Abs(st.MeanCommTime-3.5/3) > 1e-12 {
+		t.Errorf("MeanCommTime = %v", st.MeanCommTime)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestValidateOutput(t *testing.T) {
+	ref := buildRef(t, 10, 8, 0x52)
+	srcs := SelectSources(ref, 1, 3)
+	res := serial.BFS(ref, srcs[0])
+	if err := ValidateOutput(ref, srcs[0], res.Dist, res.Parent); err != nil {
+		t.Errorf("valid output rejected: %v", err)
+	}
+	res.Dist[srcs[0]] = 99
+	if err := ValidateOutput(ref, srcs[0], res.Dist, res.Parent); err == nil {
+		t.Error("corrupted output accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package netmodel
+
+import "math"
+
+// The paper's final future-work item asks for understanding collective
+// bottlenecks at high process concurrency and designing topology-aware
+// collective algorithms. This file models the three classic all-to-all
+// algorithm families MPI implementations choose among, so the library
+// can reason about (and the ablation benches can demonstrate) where each
+// wins. The BFS cost models use the tuned-vendor envelope (the minimum
+// over algorithms), which is what Cray's MPICH derivative effectively
+// provides.
+
+// A2AAlgo identifies an all-to-all exchange algorithm.
+type A2AAlgo int
+
+const (
+	// A2ADirect posts one message to every peer: p-1 sends of v/(p-1)
+	// each. Minimal data volume, linear latency term.
+	A2ADirect A2AAlgo = iota
+	// A2ABruck runs ceil(log2 p) store-and-forward rounds; latency drops
+	// to logarithmic at the cost of each word traveling ~log2(p)/2 hops.
+	// The small-message algorithm.
+	A2ABruck
+	// A2APairwise runs p-1 contention-free pairwise exchange rounds
+	// (XOR schedule); the bandwidth-optimal large-message algorithm on
+	// torus networks.
+	A2APairwise
+)
+
+// String returns the algorithm name.
+func (a A2AAlgo) String() string {
+	switch a {
+	case A2ADirect:
+		return "direct"
+	case A2ABruck:
+		return "bruck"
+	case A2APairwise:
+		return "pairwise"
+	}
+	return "unknown"
+}
+
+// AlltoallvWith prices an all-to-all of vol words per rank using the
+// given algorithm over p participants.
+func (m *Machine) AlltoallvWith(algo A2AAlgo, p int, vol int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	beta := m.torusBeta(m.BetaA2A, p)
+	v := float64(vol)
+	switch algo {
+	case A2ADirect:
+		// p-1 eager messages; per-message payload v/(p-1). Contention on
+		// the injection port serializes the sends.
+		return float64(p-1)*m.AlphaNet + v*beta
+	case A2ABruck:
+		rounds := math.Ceil(math.Log2(float64(p)))
+		// Each round forwards half the accumulated payload.
+		return rounds * (m.AlphaNet + v/2*beta)
+	case A2APairwise:
+		// One partner per round, full-bandwidth transfers, no store-and-
+		// forward inflation. Slightly lower sustained beta: the XOR
+		// schedule avoids endpoint contention.
+		return float64(p-1)*m.AlphaNet + v*beta*0.85
+	}
+	panic("netmodel: unknown all-to-all algorithm")
+}
+
+// BestA2A returns the cheapest algorithm and its cost for the exchange —
+// the per-callsite tuning a topology-aware MPI performs.
+func (m *Machine) BestA2A(p int, vol int64) (A2AAlgo, float64) {
+	best, bestCost := A2ADirect, math.Inf(1)
+	for _, a := range []A2AAlgo{A2ADirect, A2ABruck, A2APairwise} {
+		if c := m.AlltoallvWith(a, p, vol); c < bestCost {
+			best, bestCost = a, c
+		}
+	}
+	return best, bestCost
+}

@@ -1,0 +1,75 @@
+package netmodel
+
+import "testing"
+
+func TestBruckWinsSmallMessages(t *testing.T) {
+	m := Franklin()
+	const p = 4096
+	algo, _ := m.BestA2A(p, 64) // 64 words across 4096 peers: latency-bound
+	if algo != A2ABruck {
+		t.Errorf("small-message winner = %v, want bruck", algo)
+	}
+}
+
+func TestPairwiseWinsLargeMessages(t *testing.T) {
+	m := Franklin()
+	const p = 4096
+	algo, _ := m.BestA2A(p, 1<<26)
+	if algo != A2APairwise {
+		t.Errorf("large-message winner = %v, want pairwise", algo)
+	}
+}
+
+func TestCrossoverExists(t *testing.T) {
+	// Somewhere between tiny and huge volumes the winner must flip; walk
+	// volumes and require both algorithms to win at least once.
+	m := Hopper()
+	const p = 10008
+	winners := map[A2AAlgo]bool{}
+	for vol := int64(8); vol <= 1<<28; vol *= 4 {
+		algo, cost := m.BestA2A(p, vol)
+		if cost <= 0 {
+			t.Fatalf("vol %d: non-positive cost", vol)
+		}
+		winners[algo] = true
+	}
+	if !winners[A2ABruck] || !winners[A2APairwise] {
+		t.Errorf("expected both bruck and pairwise to win somewhere, got %v", winners)
+	}
+}
+
+func TestTrivialGroupFree(t *testing.T) {
+	m := Carver()
+	for _, a := range []A2AAlgo{A2ADirect, A2ABruck, A2APairwise} {
+		if m.AlltoallvWith(a, 1, 1000) != 0 {
+			t.Errorf("%v: single participant should cost nothing", a)
+		}
+	}
+}
+
+func TestAlgoNames(t *testing.T) {
+	names := map[A2AAlgo]string{A2ADirect: "direct", A2ABruck: "bruck", A2APairwise: "pairwise"}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+func TestDirectDominatedButValid(t *testing.T) {
+	// Direct must always cost at least as much as the best choice and
+	// scale monotonically in volume.
+	m := Franklin()
+	prev := 0.0
+	for vol := int64(1); vol <= 1<<20; vol *= 16 {
+		c := m.AlltoallvWith(A2ADirect, 1024, vol)
+		if c < prev {
+			t.Errorf("direct cost decreased with volume at %d", vol)
+		}
+		_, best := m.BestA2A(1024, vol)
+		if best > c {
+			t.Errorf("best (%v) exceeds direct (%v) at vol %d", best, c, vol)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,46 @@
+package perfmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+// TestPrintCalibration is a development aid: run with -v to see the
+// projected figures next to the paper's reported ranges.
+func TestPrintCalibration(t *testing.T) {
+	f := netmodel.Franklin()
+	h := netmodel.Hopper()
+	wl29 := RMATWorkload(29, 16)
+	wl32 := RMATWorkload(32, 16)
+	fmt.Println("== Fig 5a: Franklin scale 29 GTEPS (paper: flat1D ~2.5->8, 2D lower by 1.5-1.8x)")
+	for _, p := range []int{512, 1024, 2048, 4096} {
+		row := fmt.Sprintf("p=%5d:", p)
+		for _, a := range []Algo{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid} {
+			b := Predict(Config{Machine: f, Cores: p, Algo: a}, wl29)
+			row += fmt.Sprintf("  %s=%.2f(comm %.2fs)", a, b.GTEPS, b.Comm)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("== Fig 7b: Hopper scale 32 GTEPS (paper: 2D hybrid wins, up to ~17.8; 1D flat comm >90% at 20k)")
+	for _, p := range []int{5040, 10008, 20000, 40000} {
+		row := fmt.Sprintf("p=%5d:", p)
+		for _, a := range []Algo{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid} {
+			b := Predict(Config{Machine: h, Cores: p, Algo: a}, wl32)
+			row += fmt.Sprintf("  %s=%.2f(comm%.0f%%)", a, b.GTEPS, 100*b.Comm/b.Total)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("== Table 1: Franklin flat 2D comm percentages (paper: AG 7-31%, A2A 7-9%)")
+	for _, pc := range []struct{ cores, scale, ef int }{
+		{1024, 27, 64}, {1024, 29, 16}, {1024, 31, 4},
+		{2025, 27, 64}, {2025, 29, 16}, {2025, 31, 4},
+		{4096, 27, 64}, {4096, 29, 16}, {4096, 31, 4},
+	} {
+		wl := RMATWorkload(pc.scale, pc.ef)
+		b := Predict(Config{Machine: f, Cores: pc.cores, Algo: TwoDFlat}, wl)
+		fmt.Printf("cores=%4d scale=%d ef=%d: time=%.2fs AG=%.1f%% A2A=%.1f%%\n",
+			pc.cores, pc.scale, pc.ef, b.Total, 100*b.Phase["expand"]/b.Total, 100*b.Phase["fold"]/b.Total)
+	}
+}

@@ -1,0 +1,364 @@
+// Package perfmodel implements the closed-form performance model of the
+// paper's Section 5 and uses it to project BFS execution at the paper's
+// machine scales (hundreds to tens of thousands of cores) — scales the
+// emulated substrate cannot reach on one host.
+//
+// The model composes:
+//
+//   - local computation priced by the memory-reference model: streamed
+//     words at βL, random references at αL(working set), instruction
+//     work at the machine's integer rate (Section 5.1/5.2);
+//   - communication priced by the α-β collective model with
+//     participant-dependent sustained bandwidths (Section 5.1/5.2);
+//   - an occupancy model for the 2D fold volume capturing in-node
+//     aggregation: when block columns are dense, duplicate discoveries
+//     collapse before the Alltoallv, shrinking its volume (Section 5.2's
+//     remark that in-node aggregation weakens for sparser graphs).
+//
+// Every projected figure in EXPERIMENTS.md comes from this package; the
+// emulated runs cross-check the same code paths at small scale.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netmodel"
+)
+
+// Algo identifies one of the paper's four algorithm variants plus the
+// two comparators.
+type Algo int
+
+const (
+	OneDFlat Algo = iota
+	OneDHybrid
+	TwoDFlat
+	TwoDHybrid
+	Reference // Graph 500 reference MPI style
+	PBGL      // Parallel Boost Graph Library style
+)
+
+// String returns the name used in tables and figures.
+func (a Algo) String() string {
+	switch a {
+	case OneDFlat:
+		return "1D Flat MPI"
+	case OneDHybrid:
+		return "1D Hybrid"
+	case TwoDFlat:
+		return "2D Flat MPI"
+	case TwoDHybrid:
+		return "2D Hybrid"
+	case Reference:
+		return "Graph500 reference"
+	case PBGL:
+		return "PBGL"
+	}
+	return "unknown"
+}
+
+// Hybrid reports whether the variant uses intra-rank threading.
+func (a Algo) Hybrid() bool { return a == OneDHybrid || a == TwoDHybrid }
+
+// Workload describes a BFS problem instance.
+type Workload struct {
+	N int64 // vertices
+	M int64 // directed input edges (Graph 500 counts these for TEPS)
+	// Levels is the expected number of BFS levels (R-MAT: ~8 at these
+	// scales; uk-union: ~140).
+	Levels int64
+	// HeavyLevels is the number of levels carrying the bulk of the edge
+	// volume (R-MAT: ~3; high-diameter crawls: most levels).
+	HeavyLevels int64
+}
+
+// RMATWorkload returns the workload parameters for a Graph 500 R-MAT
+// instance of the given scale and edge factor.
+func RMATWorkload(scale, edgeFactor int) Workload {
+	return Workload{
+		N:           int64(1) << uint(scale),
+		M:           int64(edgeFactor) << uint(scale),
+		Levels:      8,
+		HeavyLevels: 3,
+	}
+}
+
+// UKUnionWorkload returns workload parameters mimicking the uk-union web
+// crawl: n ≈ 133M, m ≈ 5.5B directed edges, diameter ≈ 140.
+func UKUnionWorkload() Workload {
+	return Workload{N: 133e6, M: 5507e6, Levels: 140, HeavyLevels: 110}
+}
+
+// Config is one point in the experiment space.
+type Config struct {
+	Machine *netmodel.Machine
+	Cores   int
+	Algo    Algo
+}
+
+// Breakdown is a predicted per-search execution profile.
+type Breakdown struct {
+	Comp  float64 // local computation seconds
+	Comm  float64 // total communication seconds
+	Phase map[string]float64
+	Total float64
+	GTEPS float64
+	Ranks int
+	Grid  [2]int // pr, pc for 2D variants
+}
+
+// ranksAndThreads maps a core count to (ranks, threads) for the variant.
+func (c Config) ranksAndThreads() (int, int) {
+	t := 1
+	if c.Algo.Hybrid() {
+		t = c.Machine.ThreadsPerRank
+	}
+	ranks := c.Cores / t
+	if ranks < 1 {
+		ranks = 1
+	}
+	return ranks, t
+}
+
+// Predict returns the modeled per-search profile for the configuration.
+func Predict(cfg Config, wl Workload) Breakdown {
+	if cfg.Machine == nil {
+		panic("perfmodel: nil machine")
+	}
+	if wl.N < 1 || wl.M < 1 || wl.Levels < 1 || wl.HeavyLevels < 1 {
+		panic(fmt.Sprintf("perfmodel: bad workload %+v", wl))
+	}
+	switch cfg.Algo {
+	case OneDFlat, OneDHybrid:
+		return predict1D(cfg, wl, oneDFactors{comp: 1, extraPasses: 0, commVol: 1, latency: 1})
+	case TwoDFlat, TwoDHybrid:
+		return predict2D(cfg, wl)
+	case Reference:
+		return predict1D(cfg, wl, oneDFactors{
+			comp: refCompFactor, extraPasses: refExtraStreamPasses,
+			commVol: refCommVolFactor, latency: refLatencyFactor,
+		})
+	case PBGL:
+		return predictPBGL(cfg, wl)
+	}
+	panic("perfmodel: unknown algorithm")
+}
+
+// Inefficiency constants for the comparator codes (see internal/baseline
+// for the executable versions and their calibration tests).
+const (
+	// Reference-code factors: the sort-based integration doubles the
+	// local work (refCompFactor); each exchanged edge carries two extra
+	// words of record padding while the non-torus-aware exchange
+	// sustains roughly half the tuned bandwidth (together
+	// refCommVolFactor); and the unaggregated sends cost several times
+	// the message latency per level (refLatencyFactor). Calibrated so
+	// the projected gap matches the measured 2.72x/3.43x/4.13x at
+	// 512/1024/2048 cores (Section 6).
+	refCompFactor        = 2.0
+	refExtraStreamPasses = 2
+	refCommVolFactor     = 4.0
+	refLatencyFactor     = 8.0
+
+	// PBGL factors: serialized property-map messages are several words
+	// per edge, eagerly batched in small chunks, with generic-dispatch
+	// work per element (Table 2's 10-16x gap).
+	pbglWordsPerEdge = 12
+	pbglOpsPerEdge   = 2000
+	pbglBatchEdges   = 8 // edges per eager message
+
+	spaExtractOps = 4 // sort constant for SPA index extraction
+
+	// hybridEfficiency is the marginal speedup of each additional thread:
+	// intra-node memory-bandwidth contention keeps multithreaded speedup
+	// below linear, which is why the hybrid variants trail at small
+	// concurrencies (Figures 5 and 9) despite their communication edge.
+	hybridEfficiency = 0.72
+
+	// hybridGrainWords is the per-level work below which threading stops
+	// paying off: with tiny frontiers (high-diameter graphs), fork/join
+	// and merge overheads cancel the parallel gain — the reason the 2D
+	// hybrid loses to flat MPI on uk-union (Figure 11).
+	hybridGrainWords = 100_000
+
+	// levelOverheadSeconds is the fixed per-iteration cost of a 2D BFS
+	// level: sparse-vector bookkeeping, kernel setup, and straggler skew
+	// absorbed at the level's four synchronization points. Negligible for
+	// R-MAT's ~8 levels, substantial for a 140-iteration crawl traversal
+	// (Figure 11's computation-dominated profile).
+	levelOverheadSeconds = 2.0e-3
+)
+
+// threadSpeedup returns the effective parallel speedup of t threads on a
+// level whose parallelizable work is workPerLevel words.
+func threadSpeedup(t, workPerLevel float64) float64 {
+	s := 1 + (t-1)*hybridEfficiency
+	if limit := workPerLevel / hybridGrainWords; limit < s {
+		if limit < 1 {
+			return 1
+		}
+		return limit
+	}
+	return s
+}
+
+// oneDFactors are the inefficiency multipliers distinguishing the tuned
+// 1D code (all ones) from the reference comparator.
+type oneDFactors struct {
+	comp        float64
+	extraPasses int64
+	commVol     float64
+	latency     float64
+}
+
+// predict1D models Algorithm 2 with the given inefficiency factors.
+func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
+	m := cfg.Machine
+	p64, t64 := cfg.ranksAndThreads()
+	p, t := int64(p64), float64(t64)
+	mhat := 2 * wl.M // symmetrized adjacency slots
+	nloc := wl.N / p
+	edgesPer := mhat / p
+	remoteFrac := float64(p-1) / float64(p)
+	remoteWords := int64(2 * float64(edgesPer) * remoteFrac) // (v, parent) pairs
+
+	// --- Local computation (Section 5.1) ---
+	// m/p·βL adjacency stream, n/p·αL,n/p pointer+frontier accesses,
+	// m/p·αL,n/p distance checks, plus buffer packing streams.
+	streams := float64(edgesPer) + float64(remoteWords)*(1+float64(fac.extraPasses))
+	if t > 1 {
+		streams += float64(remoteWords) // thread-buffer merge pass
+	}
+	comp := float64(edgesPer)*m.AlphaMem(nloc)*fac.comp +
+		float64(nloc)*(m.AlphaMem(nloc)+2*m.BetaMem) +
+		streams*m.BetaMem +
+		float64(edgesPer)*fac.comp/m.ComputeRate
+	comp /= threadSpeedup(t, float64(edgesPer)/float64(wl.Levels))
+	if t > 1 {
+		comp += float64(wl.Levels) * 3 * 4000 / m.ComputeRate // thread barriers
+	}
+
+	// --- Communication (Section 5.1) ---
+	// Per-rank bandwidth divides by the ranks sharing each NIC, so the
+	// bandwidth term reflects per-node volume over per-node bandwidth:
+	// identical for flat and hybrid, while the latency term and the
+	// torus-contention degradation shrink with the hybrid's smaller p.
+	rpn := float64(cfg.Machine.CoresPerNode) / t
+	a2a := float64(wl.Levels)*float64(p)*m.AlphaNet*fac.latency +
+		float64(remoteWords)*rpn*torus(m, m.BetaA2A, float64(p))*fac.commVol
+	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
+
+	return finish(cfg, wl, comp, map[string]float64{"a2a": a2a, "allreduce": allred}, [2]int{int(p), 1})
+}
+
+// predict2D models Algorithm 3 with the 2D vector distribution. The
+// analytic grid uses real-valued pr = pc = sqrt(ranks): the emulated
+// substrate needs integral factorizations, the closed-form model does
+// not, and the paper's "closest square grid" is the same idealization.
+func predict2D(cfg Config, wl Workload) Breakdown {
+	m := cfg.Machine
+	p64, t64 := cfg.ranksAndThreads()
+	p, t := int64(p64), float64(t64)
+	pr := math.Sqrt(float64(p64))
+	pc := pr
+	mhat := 2 * wl.M
+	edgesPer := mhat / p
+	rowBlock := int64(float64(wl.N) / pr) // SpMSV output range per block row
+	nloc := wl.N / p
+
+	// --- Fold volume: occupancy model of in-node aggregation ---
+	// Per heavy level, a rank touches work = m̂/(p·H) edges landing in
+	// n/pr output rows; distinct rows ≈ bins·(1-exp(-λ)).
+	h := float64(wl.HeavyLevels)
+	workPerLevel := float64(edgesPer) / h
+	bins := float64(rowBlock)
+	lambda := workPerLevel / bins
+	distinctPerLevel := bins * (1 - math.Exp(-lambda))
+	foldEntries := h * distinctPerLevel      // per rank, whole search
+	foldWords := int64(2 * foldEntries)      // (index, parent) pairs
+	expandWords := int64(float64(wl.N) / pc) // frontier replication along the column
+	transposeWords := nloc                   // each frontier entry crosses once
+
+	// --- Local computation (Section 5.2) ---
+	// m/p·βL + n/pc·αL(n/pc) frontier accesses + m/p·αL(n/pr) scatter;
+	// the larger working sets (n/pr, n/pc vs n/p) are exactly why the 2D
+	// algorithm computes slower (Section 5.2). Strip-split threading
+	// shrinks the scatter working set by t.
+	stripWS := rowBlock / int64(t64)
+	logOut := math.Log2(foldEntries/h + 2)
+	comp := float64(edgesPer)*m.AlphaMem(stripWS) + // scatter into SPA range
+		float64(nloc)*m.AlphaMem(expandWords) + // frontier accesses, n/pc working set
+		(float64(edgesPer)+2*float64(expandWords)+2*float64(foldWords))*m.BetaMem +
+		float64(edgesPer)/m.ComputeRate +
+		foldEntries*spaExtractOps*logOut/m.ComputeRate + // SPA index sort at extraction
+		foldEntries*m.AlphaMem(nloc) // fold-merge mask probes
+	comp /= threadSpeedup(t, float64(edgesPer)/float64(wl.Levels))
+	comp += float64(wl.Levels) * levelOverheadSeconds
+	if t > 1 {
+		comp += float64(wl.Levels) * 4000 / m.ComputeRate
+	}
+
+	// --- Communication (Section 5.2) ---
+	// pr·αN + (n/pc)·βN,ag(pr) for the expand, pc·αN + fold·βN,a2a(pc)
+	// for the fold, both over √p participants instead of p — the
+	// communication advantage of the 2D decomposition. Bandwidth terms
+	// carry the NIC-sharing factor like the 1D model.
+	rpn := float64(cfg.Machine.CoresPerNode) / t
+	expand := float64(wl.Levels)*pr*m.AlphaNet +
+		float64(expandWords)*rpn*torus(m, m.BetaAG, pr)
+	fold := float64(wl.Levels)*pc*m.AlphaNet +
+		float64(foldWords)*rpn*torus(m, m.BetaA2A, pc)
+	transpose := float64(wl.Levels)*m.AlphaNet +
+		float64(transposeWords)*rpn*m.BetaP2P
+	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
+
+	return finish(cfg, wl, comp, map[string]float64{
+		"expand": expand, "fold": fold, "transpose": transpose, "allreduce": allred,
+	}, [2]int{int(pr), int(pc)})
+}
+
+// predictPBGL models the PBGL comparator: 1D dataflow with fat serialized
+// per-edge messages and property-map overheads.
+func predictPBGL(cfg Config, wl Workload) Breakdown {
+	m := cfg.Machine
+	p64, _ := cfg.ranksAndThreads()
+	p := int64(p64)
+	mhat := 2 * wl.M
+	nloc := wl.N / p
+	edgesPer := mhat / p
+	remoteEdges := int64(float64(edgesPer) * float64(p-1) / float64(p))
+	msgWords := remoteEdges * pbglWordsPerEdge
+
+	rpn := float64(m.CoresPerNode)
+	comp := float64(edgesPer)*m.AlphaMem(nloc) +
+		float64(nloc)*(m.AlphaMem(nloc)+2*m.BetaMem) +
+		float64(msgWords)*m.BetaMem +
+		float64(edgesPer)*pbglOpsPerEdge/m.ComputeRate
+	a2a := float64(wl.Levels)*float64(p)*m.AlphaNet +
+		float64(remoteEdges)/pbglBatchEdges*m.AlphaNet + // eager small messages
+		float64(msgWords)*rpn*torus(m, m.BetaA2A, float64(p))
+	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
+	return finish(cfg, wl, comp, map[string]float64{"a2a": a2a, "allreduce": allred}, [2]int{int(p), 1})
+}
+
+// torus applies the participant-dependent bandwidth degradation without
+// the machine's layout-dependent NIC factor (the model applies its own).
+func torus(m *netmodel.Machine, beta float64, p float64) float64 {
+	if p <= m.TorusRefP {
+		return beta
+	}
+	return beta * math.Pow(p/m.TorusRefP, m.TorusExp)
+}
+
+func finish(cfg Config, wl Workload, comp float64, phases map[string]float64, grid [2]int) Breakdown {
+	b := Breakdown{Comp: comp, Phase: phases, Grid: grid}
+	for _, v := range phases {
+		b.Comm += v
+	}
+	b.Total = b.Comp + b.Comm
+	b.GTEPS = float64(wl.M) / b.Total / 1e9
+	ranks, _ := cfg.ranksAndThreads()
+	b.Ranks = ranks
+	return b
+}

@@ -1,0 +1,92 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netmodel"
+	"repro/internal/prng"
+)
+
+// Property: predictions are finite, positive, and decompose consistently
+// across the whole configuration space.
+func TestPredictionWellFormed(t *testing.T) {
+	machines := []*netmodel.Machine{netmodel.Franklin(), netmodel.Hopper(), netmodel.Carver()}
+	algos := []Algo{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid, Reference, PBGL}
+	check := func(seed uint64) bool {
+		rng := prng.New(seed)
+		cfg := Config{
+			Machine: machines[rng.Intn(len(machines))],
+			Cores:   64 << uint(rng.Intn(10)), // 64 .. 32768
+			Algo:    algos[rng.Intn(len(algos))],
+		}
+		wl := RMATWorkload(rng.Intn(14)+20, []int{4, 16, 64}[rng.Intn(3)])
+		b := Predict(cfg, wl)
+		if b.Total <= 0 || b.Comp <= 0 || b.Comm <= 0 || b.GTEPS <= 0 {
+			return false
+		}
+		var phaseSum float64
+		for _, v := range b.Phase {
+			if v < 0 {
+				return false
+			}
+			phaseSum += v
+		}
+		if diff := phaseSum - b.Comm; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		if diff := b.Comp + b.Comm - b.Total; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		return b.Ranks >= 1 && b.Ranks <= cfg.Cores
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: communication time per search decreases (or at worst stays
+// near-flat) when cores grow at fixed problem size for the 2D hybrid —
+// the strong-scaling premise of Figures 6 and 8.
+func TestCommMonotoneStrongScaling(t *testing.T) {
+	wl := RMATWorkload(30, 16)
+	for _, m := range []*netmodel.Machine{netmodel.Franklin(), netmodel.Hopper()} {
+		prev := -1.0
+		for _, cores := range []int{512, 1024, 2048, 4096, 8192, 16384} {
+			b := Predict(Config{Machine: m, Cores: cores, Algo: TwoDHybrid}, wl)
+			if prev > 0 && b.Comm > prev*1.05 {
+				t.Errorf("%s: 2D hybrid comm grew from %.3f to %.3f at %d cores", m.Name, prev, b.Comm, cores)
+			}
+			prev = b.Comm
+		}
+	}
+}
+
+// Property: more cores never slow a search down dramatically in the
+// modeled regimes (sub-linear scaling is fine; super-linear slowdown is
+// a model bug).
+func TestNoPathologicalSlowdown(t *testing.T) {
+	wl := RMATWorkload(29, 16)
+	for _, algo := range []Algo{OneDFlat, TwoDFlat, TwoDHybrid} {
+		prev := -1.0
+		for _, cores := range []int{512, 1024, 2048, 4096} {
+			b := Predict(Config{Machine: netmodel.Franklin(), Cores: cores, Algo: algo}, wl)
+			if prev > 0 && b.Total > prev*1.1 {
+				t.Errorf("%v: search time grew from %.3f to %.3f at %d cores", algo, prev, b.Total, cores)
+			}
+			prev = b.Total
+		}
+	}
+}
+
+// The workload helpers must produce the paper's parameters.
+func TestWorkloadHelpers(t *testing.T) {
+	wl := RMATWorkload(29, 16)
+	if wl.N != 1<<29 || wl.M != 16<<29 || wl.Levels != 8 {
+		t.Errorf("RMATWorkload(29,16) = %+v", wl)
+	}
+	uk := UKUnionWorkload()
+	if uk.Levels != 140 || uk.N < 100e6 {
+		t.Errorf("UKUnionWorkload = %+v", uk)
+	}
+}

@@ -1,0 +1,115 @@
+package smp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/rmat"
+	"repro/internal/serial"
+)
+
+func buildRMAT(t testing.TB, scale, ef int, seed uint64) *graph.CSR {
+	t.Helper()
+	el, err := rmat.Graph500(scale, ef, seed).GenerateUndirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BuildCSR(el, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatchesSerial(t *testing.T) {
+	g := buildRMAT(t, 12, 16, 0x31)
+	var src int64
+	for v := int64(0); v < g.NumVerts; v++ {
+		if g.Degree(v) > g.Degree(src) {
+			src = v
+		}
+	}
+	want := serial.BFS(g, src)
+	for _, threads := range []int{1, 2, 4, 8} {
+		got := Run(g, src, Options{Threads: threads})
+		for v := int64(0); v < g.NumVerts; v++ {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("threads=%d: dist[%d] = %d, want %d", threads, v, got.Dist[v], want.Dist[v])
+			}
+		}
+		if err := serial.Validate(g, got, want); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestChunkSizes(t *testing.T) {
+	g := buildRMAT(t, 10, 8, 0x37)
+	want := serial.BFS(g, 1)
+	for _, chunk := range []int{1, 7, 1024} {
+		got := Run(g, 1, Options{Threads: 4, ChunkSize: chunk})
+		if err := serial.Validate(g, got, want); err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+	}
+}
+
+func TestIsolatedSource(t *testing.T) {
+	el := &graph.EdgeList{NumVerts: 8, Edges: []graph.Edge{{U: 1, V: 2}}}
+	g, err := graph.BuildCSR(el.Symmetrize(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(g, 5, Options{Threads: 3})
+	if r.ReachedCount() != 1 {
+		t.Errorf("reached %d vertices from isolated source", r.ReachedCount())
+	}
+}
+
+// Property: the multithreaded BFS agrees with the serial oracle on random
+// graphs across thread counts (exercises the claim-race machinery).
+func TestPropertyRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := int64(rng.Intn(200) + 2)
+		el := &graph.EdgeList{NumVerts: n}
+		m := rng.Intn(600)
+		for i := 0; i < m; i++ {
+			el.Edges = append(el.Edges, graph.Edge{U: rng.Int64n(n), V: rng.Int64n(n)})
+		}
+		g, err := graph.BuildCSR(el.Symmetrize(), true)
+		if err != nil {
+			return false
+		}
+		src := rng.Int64n(n)
+		got := Run(g, src, Options{Threads: rng.Intn(8) + 1, ChunkSize: rng.Intn(64) + 1})
+		return serial.Validate(g, got, serial.BFS(g, src)) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSMPvsSerial(b *testing.B) {
+	g := buildRMAT(b, 15, 16, 0x99)
+	var src int64
+	for v := int64(0); v < g.NumVerts; v++ {
+		if g.Degree(v) > g.Degree(src) {
+			src = v
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			serial.BFS(g, src)
+		}
+	})
+	for _, threads := range []int{1, 4} {
+		b.Run(map[int]string{1: "smp-1", 4: "smp-4"}[threads], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Run(g, src, Options{Threads: threads})
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package spmat
+
+import "sync"
+
+import "repro/internal/spvec"
+
+// RowSplit partitions a DCSC rowwise into t strips, the layout the hybrid
+// 2D algorithm uses for intra-node multithreading (Section 4.1, Figure 2):
+// each thread owns an n/(pr·t) × n/pc hypersparse strip stored in its own
+// DCSC, and a level's SpMSV runs one strip per thread with no shared
+// mutable state. Strip outputs occupy disjoint, ordered row ranges, so the
+// per-strip results concatenate into a sorted vector without a merge.
+type RowSplit struct {
+	Rows, Cols int64
+	Strips     []*DCSC
+	Offsets    []int64 // strip s covers rows [Offsets[s], Offsets[s+1])
+}
+
+// NewRowSplit builds a t-strip row split from triples.
+func NewRowSplit(rows, cols int64, ts []Triple, t int) (*RowSplit, error) {
+	if t < 1 {
+		t = 1
+	}
+	if int64(t) > rows && rows > 0 {
+		t = int(rows)
+	}
+	if err := checkTriples(rows, cols, ts); err != nil {
+		return nil, err
+	}
+	rs := &RowSplit{Rows: rows, Cols: cols, Offsets: make([]int64, t+1)}
+	for s := 0; s <= t; s++ {
+		rs.Offsets[s] = int64(s) * rows / int64(t)
+	}
+	buckets := make([][]Triple, t)
+	for _, tr := range ts {
+		s := rs.stripOf(tr.Row)
+		buckets[s] = append(buckets[s], Triple{Row: tr.Row - rs.Offsets[s], Col: tr.Col})
+	}
+	rs.Strips = make([]*DCSC, t)
+	for s := 0; s < t; s++ {
+		d, err := NewDCSC(rs.Offsets[s+1]-rs.Offsets[s], cols, buckets[s])
+		if err != nil {
+			return nil, err
+		}
+		rs.Strips[s] = d
+	}
+	return rs, nil
+}
+
+func (rs *RowSplit) stripOf(row int64) int {
+	t := int64(len(rs.Offsets) - 1)
+	s := row * t / rs.Rows
+	// Integer division of uneven strips can land one off; fix up.
+	for s > 0 && row < rs.Offsets[s] {
+		s--
+	}
+	for s+1 < t && row >= rs.Offsets[s+1] {
+		s++
+	}
+	return int(s)
+}
+
+// Work returns the number of nonzeros an SpMSV with frontier f would
+// touch across all strips.
+func (rs *RowSplit) Work(f *spvec.Vec) int64 {
+	var work int64
+	for _, s := range rs.Strips {
+		work += s.Work(f)
+	}
+	return work
+}
+
+// NNZ returns the total stored nonzeros across strips.
+func (rs *RowSplit) NNZ() int64 {
+	var n int64
+	for _, s := range rs.Strips {
+		n += s.NNZ()
+	}
+	return n
+}
+
+// SpMSV runs the product strip-parallel and concatenates the rebased
+// outputs into dst. The parallel flag distinguishes the hybrid algorithm
+// (true: one goroutine per strip, as hardware threads in the paper) from
+// a flat execution that still benefits from the strip layout's locality.
+func (rs *RowSplit) SpMSV(dst *spvec.Vec, f *spvec.Vec, opts SpMSVOpts, parallel bool) *spvec.Vec {
+	parts := make([]spvec.Vec, len(rs.Strips))
+	if parallel && len(rs.Strips) > 1 {
+		var wg sync.WaitGroup
+		for s := range rs.Strips {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				stripOpts := opts
+				stripOpts.SPA = nil // per-strip accumulators cannot be shared
+				rs.Strips[s].SpMSV(&parts[s], f, stripOpts)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for s := range rs.Strips {
+			stripOpts := opts
+			if stripOpts.SPA != nil && stripOpts.SPA.Size() != rs.Strips[s].Rows {
+				stripOpts.SPA = nil
+			}
+			rs.Strips[s].SpMSV(&parts[s], f, stripOpts)
+		}
+	}
+	dst.Reset()
+	for s := range parts {
+		off := rs.Offsets[s]
+		for k, r := range parts[s].Ind {
+			dst.Ind = append(dst.Ind, r+off)
+			dst.Val = append(dst.Val, parts[s].Val[k])
+		}
+	}
+	return dst
+}

@@ -1,0 +1,135 @@
+package spmat
+
+import "repro/internal/spvec"
+
+// Kernel selects the accumulation strategy for SpMSV.
+type Kernel int
+
+const (
+	// KernelSPA uses the sparse accumulator: O(rows) memory, fastest at
+	// low concurrency.
+	KernelSPA Kernel = iota
+	// KernelHeap uses the multiway heap merge: O(nnz(f)+output) memory,
+	// faster and leaner once blocks become hypersparse (high concurrency).
+	KernelHeap
+	// KernelAuto is the paper's polyalgorithm: pick per call based on the
+	// ratio of the accumulator range to the expected output size.
+	KernelAuto
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelSPA:
+		return "spa"
+	case KernelHeap:
+		return "heap"
+	case KernelAuto:
+		return "auto"
+	}
+	return "unknown"
+}
+
+// autoThreshold is the range-to-work ratio above which the polyalgorithm
+// prefers the heap kernel: when the SPA's dense range is much larger than
+// the touched volume, SPA initialization/extraction and its cache
+// footprint dominate. The value is calibrated by BenchmarkFigure3 and
+// corresponds to the paper's observed crossover near 10k cores on a scale
+// 33 problem.
+const autoThreshold = 64
+
+// SpMSVOpts configures a product.
+type SpMSVOpts struct {
+	Kernel Kernel
+	// SPA, when non-nil, is reused across calls to avoid reallocating the
+	// dense accumulator each BFS level. Its size must equal the matrix
+	// row dimension.
+	SPA *spvec.SPA
+}
+
+// SpMSV computes dst = M ⊗ f over the (select,max) semiring: for every
+// row r such that some column c with f(c) nonzero has an entry (r,c),
+// dst(r) = max over those columns of f's value at c. In BFS terms: f is
+// the frontier (value = the frontier vertex's global id), dst holds the
+// newly reachable rows with their tentative parents.
+func (m *DCSC) SpMSV(dst *spvec.Vec, f *spvec.Vec, opts SpMSVOpts) *spvec.Vec {
+	kernel := opts.Kernel
+	if kernel == KernelAuto {
+		// Estimate touched volume as nnz of selected columns.
+		var work int64
+		forEachSelected(m, f, func(j int, _ int64) {
+			work += m.CP[j+1] - m.CP[j]
+		})
+		if work == 0 {
+			dst.Reset()
+			return dst
+		}
+		if m.Rows/work >= autoThreshold {
+			kernel = KernelHeap
+		} else {
+			kernel = KernelSPA
+		}
+	}
+	switch kernel {
+	case KernelSPA:
+		spa := opts.SPA
+		if spa == nil || spa.Size() != m.Rows {
+			spa = spvec.NewSPA(m.Rows)
+		}
+		forEachSelected(m, f, func(j int, val int64) {
+			for _, r := range m.colRowsAt(j) {
+				spa.Scatter(r, val)
+			}
+		})
+		return spa.Extract(dst)
+	case KernelHeap:
+		streams := make([]spvec.Stream, 0, 16)
+		forEachSelected(m, f, func(j int, val int64) {
+			streams = append(streams, spvec.Stream{Ind: m.colRowsAt(j), Val: val})
+		})
+		return spvec.MultiwayMerge(dst, streams)
+	}
+	panic("spmat: unknown kernel")
+}
+
+// Work returns the number of matrix nonzeros an SpMSV with frontier f
+// would touch (the sum of selected column lengths). The performance model
+// charges local computation proportionally to this quantity.
+func (m *DCSC) Work(f *spvec.Vec) int64 {
+	var work int64
+	forEachSelected(m, f, func(j int, _ int64) {
+		work += m.CP[j+1] - m.CP[j]
+	})
+	return work
+}
+
+// forEachSelected merge-joins the frontier indices with the nonempty
+// columns JC (both sorted) and invokes fn for each match with the
+// position j into JC and the frontier value.
+func forEachSelected(m *DCSC, f *spvec.Vec, fn func(j int, val int64)) {
+	i, j := 0, 0
+	for i < len(f.Ind) && j < len(m.JC) {
+		switch {
+		case f.Ind[i] < m.JC[j]:
+			i++
+		case f.Ind[i] > m.JC[j]:
+			j++
+		default:
+			fn(j, f.Val[i])
+			i++
+			j++
+		}
+	}
+}
+
+// SpMSV computes dst = M ⊗ f for a CSC matrix; used by tests as an
+// independent oracle for the DCSC kernels and by the 1D code paths.
+func (m *CSC) SpMSV(dst *spvec.Vec, f *spvec.Vec) *spvec.Vec {
+	spa := spvec.NewSPA(m.Rows)
+	for i, c := range f.Ind {
+		for _, r := range m.ColRows(c) {
+			spa.Scatter(r, f.Val[i])
+		}
+	}
+	return spa.Extract(dst)
+}

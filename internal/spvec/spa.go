@@ -1,0 +1,69 @@
+package spvec
+
+import (
+	"sort"
+
+	"repro/internal/bits"
+)
+
+// SPA is the sparse accumulator of Section 4.2: a dense value array, a bit
+// mask of occupied slots, and a list of occupied indices. Scatters are
+// O(1); extraction sorts the index list. Memory footprint is O(range),
+// which is exactly the disadvantage the paper measures against the heap
+// kernel in Figure 3.
+type SPA struct {
+	vals     []int64
+	occupied *bits.Bitmap
+	inds     []int64
+}
+
+// NewSPA returns a SPA over index range [0, size).
+func NewSPA(size int64) *SPA {
+	return &SPA{
+		vals:     make([]int64, size),
+		occupied: bits.NewBitmap(size),
+		inds:     make([]int64, 0, 256),
+	}
+}
+
+// Size returns the index range of the accumulator.
+func (s *SPA) Size() int64 { return int64(len(s.vals)) }
+
+// NNZ returns the number of occupied slots.
+func (s *SPA) NNZ() int { return len(s.inds) }
+
+// Scatter accumulates value val at index i under the (select,max)
+// semiring.
+func (s *SPA) Scatter(i, val int64) {
+	if s.occupied.TestAndSet(i) {
+		s.inds = append(s.inds, i)
+		s.vals[i] = val
+		return
+	}
+	if val > s.vals[i] {
+		s.vals[i] = val
+	}
+}
+
+// Extract appends the accumulated nonzeros, index-sorted, into dst and
+// resets the SPA for reuse. The explicit sort of the index list is the
+// extraction cost the paper notes for the SPA approach.
+func (s *SPA) Extract(dst *Vec) *Vec {
+	sort.Slice(s.inds, func(a, b int) bool { return s.inds[a] < s.inds[b] })
+	dst.Reset()
+	for _, i := range s.inds {
+		dst.Ind = append(dst.Ind, i)
+		dst.Val = append(dst.Val, s.vals[i])
+		s.occupied.Clear(i)
+	}
+	s.inds = s.inds[:0]
+	return dst
+}
+
+// Reset clears the accumulator without extracting.
+func (s *SPA) Reset() {
+	for _, i := range s.inds {
+		s.occupied.Clear(i)
+	}
+	s.inds = s.inds[:0]
+}

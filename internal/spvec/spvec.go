@@ -1,0 +1,141 @@
+// Package spvec provides the sparse-vector machinery of the 2D BFS: the
+// sorted sparse vector representing frontiers, the sparse accumulator
+// (SPA) of Gilbert, Moler and Schreiber, and a multiway heap merge — the
+// two local SpMSV accumulation kernels the paper compares in Figure 3.
+//
+// Values carry BFS parent candidates. Accumulation is over the paper's
+// (select, max) semiring: when several frontier vertices discover the same
+// output vertex, the one with the numerically largest value is selected.
+// Any deterministic tie-break yields a valid BFS tree; max matches the
+// paper's formulation.
+package spvec
+
+import "sort"
+
+// Vec is a sparse vector with sorted, unique indices. Ind[i] is the
+// position of the i-th nonzero; Val[i] its value. The zero value is an
+// empty vector ready to use.
+type Vec struct {
+	Ind []int64
+	Val []int64
+}
+
+// NNZ returns the number of nonzeros.
+func (v *Vec) NNZ() int { return len(v.Ind) }
+
+// Reset empties the vector, retaining capacity.
+func (v *Vec) Reset() {
+	v.Ind = v.Ind[:0]
+	v.Val = v.Val[:0]
+}
+
+// Append adds a nonzero at index i with value val. Indices must be
+// appended in strictly increasing order; Append panics otherwise, because
+// a mis-ordered frontier silently corrupts every downstream merge.
+func (v *Vec) Append(i, val int64) {
+	if n := len(v.Ind); n > 0 && v.Ind[n-1] >= i {
+		panic("spvec: Append indices not strictly increasing")
+	}
+	v.Ind = append(v.Ind, i)
+	v.Val = append(v.Val, val)
+}
+
+// Clone returns a deep copy.
+func (v *Vec) Clone() *Vec {
+	out := &Vec{Ind: make([]int64, len(v.Ind)), Val: make([]int64, len(v.Val))}
+	copy(out.Ind, v.Ind)
+	copy(out.Val, v.Val)
+	return out
+}
+
+// IsSorted reports whether indices are strictly increasing (the type's
+// invariant). Exposed for tests and for validating externally assembled
+// vectors.
+func (v *Vec) IsSorted() bool {
+	for i := 1; i < len(v.Ind); i++ {
+		if v.Ind[i-1] >= v.Ind[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromUnsorted builds a Vec from parallel unsorted index/value slices,
+// sorting and collapsing duplicate indices with the (select,max) rule.
+func FromUnsorted(ind, val []int64) *Vec {
+	if len(ind) != len(val) {
+		panic("spvec: index/value length mismatch")
+	}
+	type pair struct{ i, v int64 }
+	ps := make([]pair, len(ind))
+	for k := range ind {
+		ps[k] = pair{ind[k], val[k]}
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].i != ps[b].i {
+			return ps[a].i < ps[b].i
+		}
+		return ps[a].v > ps[b].v // max value first within an index run
+	})
+	out := &Vec{Ind: make([]int64, 0, len(ps)), Val: make([]int64, 0, len(ps))}
+	for k := 0; k < len(ps); k++ {
+		if k > 0 && ps[k].i == ps[k-1].i {
+			continue // duplicate index: first entry of the run holds max
+		}
+		out.Ind = append(out.Ind, ps[k].i)
+		out.Val = append(out.Val, ps[k].v)
+	}
+	return out
+}
+
+// Merge combines two sorted vectors into one, resolving index collisions
+// with the (select,max) semiring. The result is written to dst (which may
+// be empty but must not alias a or b) and returned.
+func Merge(dst, a, b *Vec) *Vec {
+	dst.Reset()
+	i, j := 0, 0
+	for i < len(a.Ind) && j < len(b.Ind) {
+		switch {
+		case a.Ind[i] < b.Ind[j]:
+			dst.Ind = append(dst.Ind, a.Ind[i])
+			dst.Val = append(dst.Val, a.Val[i])
+			i++
+		case a.Ind[i] > b.Ind[j]:
+			dst.Ind = append(dst.Ind, b.Ind[j])
+			dst.Val = append(dst.Val, b.Val[j])
+			j++
+		default:
+			val := a.Val[i]
+			if b.Val[j] > val {
+				val = b.Val[j]
+			}
+			dst.Ind = append(dst.Ind, a.Ind[i])
+			dst.Val = append(dst.Val, val)
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Ind); i++ {
+		dst.Ind = append(dst.Ind, a.Ind[i])
+		dst.Val = append(dst.Val, a.Val[i])
+	}
+	for ; j < len(b.Ind); j++ {
+		dst.Ind = append(dst.Ind, b.Ind[j])
+		dst.Val = append(dst.Val, b.Val[j])
+	}
+	return dst
+}
+
+// MaskOut returns (into dst) the entries of v whose index i satisfies
+// keep(i). This implements the element-wise product with the complemented
+// visited set in Algorithm 3, line 9: tij <- tij ⊙ ~visited.
+func MaskOut(dst, v *Vec, keep func(i int64) bool) *Vec {
+	dst.Reset()
+	for k, i := range v.Ind {
+		if keep(i) {
+			dst.Ind = append(dst.Ind, i)
+			dst.Val = append(dst.Val, v.Val[k])
+		}
+	}
+	return dst
+}

@@ -1,0 +1,206 @@
+package spvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func vecOf(pairs ...[2]int64) *Vec {
+	v := &Vec{}
+	for _, p := range pairs {
+		v.Append(p[0], p[1])
+	}
+	return v
+}
+
+func equalVec(a, b *Vec) bool {
+	if len(a.Ind) != len(b.Ind) {
+		return false
+	}
+	for i := range a.Ind {
+		if a.Ind[i] != b.Ind[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendOrderEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Append did not panic")
+		}
+	}()
+	v := &Vec{}
+	v.Append(5, 1)
+	v.Append(5, 2)
+}
+
+func TestFromUnsorted(t *testing.T) {
+	v := FromUnsorted([]int64{7, 2, 7, 5, 2}, []int64{10, 3, 40, 5, 1})
+	want := vecOf([2]int64{2, 3}, [2]int64{5, 5}, [2]int64{7, 40})
+	if !equalVec(v, want) {
+		t.Errorf("FromUnsorted = %v/%v", v.Ind, v.Val)
+	}
+}
+
+func TestMergeBasic(t *testing.T) {
+	a := vecOf([2]int64{1, 10}, [2]int64{3, 30}, [2]int64{5, 50})
+	b := vecOf([2]int64{2, 20}, [2]int64{3, 99}, [2]int64{6, 60})
+	got := Merge(&Vec{}, a, b)
+	want := vecOf([2]int64{1, 10}, [2]int64{2, 20}, [2]int64{3, 99}, [2]int64{5, 50}, [2]int64{6, 60})
+	if !equalVec(got, want) {
+		t.Errorf("Merge = %v/%v", got.Ind, got.Val)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := vecOf([2]int64{1, 1})
+	if got := Merge(&Vec{}, a, &Vec{}); !equalVec(got, a) {
+		t.Error("merge with empty right changed vector")
+	}
+	if got := Merge(&Vec{}, &Vec{}, a); !equalVec(got, a) {
+		t.Error("merge with empty left changed vector")
+	}
+}
+
+func TestMaskOut(t *testing.T) {
+	v := vecOf([2]int64{1, 1}, [2]int64{2, 2}, [2]int64{3, 3})
+	got := MaskOut(&Vec{}, v, func(i int64) bool { return i%2 == 1 })
+	want := vecOf([2]int64{1, 1}, [2]int64{3, 3})
+	if !equalVec(got, want) {
+		t.Errorf("MaskOut = %v", got.Ind)
+	}
+}
+
+func TestSPABasic(t *testing.T) {
+	s := NewSPA(100)
+	s.Scatter(42, 7)
+	s.Scatter(5, 1)
+	s.Scatter(42, 3)  // lower value loses
+	s.Scatter(42, 11) // higher value wins
+	out := s.Extract(&Vec{})
+	want := vecOf([2]int64{5, 1}, [2]int64{42, 11})
+	if !equalVec(out, want) {
+		t.Errorf("Extract = %v/%v", out.Ind, out.Val)
+	}
+	if s.NNZ() != 0 {
+		t.Error("SPA not reset after Extract")
+	}
+	// Reusable after extraction.
+	s.Scatter(1, 2)
+	out = s.Extract(&Vec{})
+	if !equalVec(out, vecOf([2]int64{1, 2})) {
+		t.Errorf("second Extract = %v/%v", out.Ind, out.Val)
+	}
+}
+
+func TestSPAReset(t *testing.T) {
+	s := NewSPA(10)
+	s.Scatter(3, 1)
+	s.Reset()
+	if s.NNZ() != 0 {
+		t.Error("Reset left entries")
+	}
+	out := s.Extract(&Vec{})
+	if out.NNZ() != 0 {
+		t.Error("Extract after Reset non-empty")
+	}
+}
+
+func TestMultiwayMergeBasic(t *testing.T) {
+	streams := []Stream{
+		{Ind: []int64{1, 4, 9}, Val: 100},
+		{Ind: []int64{2, 4, 8}, Val: 200},
+		{Ind: []int64{4, 9}, Val: 50},
+	}
+	got := MultiwayMerge(&Vec{}, streams)
+	want := vecOf([2]int64{1, 100}, [2]int64{2, 200}, [2]int64{4, 200},
+		[2]int64{8, 200}, [2]int64{9, 100})
+	if !equalVec(got, want) {
+		t.Errorf("MultiwayMerge = %v/%v", got.Ind, got.Val)
+	}
+}
+
+func TestMultiwayMergeDegenerate(t *testing.T) {
+	if got := MultiwayMerge(&Vec{}, nil); got.NNZ() != 0 {
+		t.Error("merge of no streams non-empty")
+	}
+	if got := MultiwayMerge(&Vec{}, []Stream{{}, {}}); got.NNZ() != 0 {
+		t.Error("merge of empty streams non-empty")
+	}
+	one := MultiwayMerge(&Vec{}, []Stream{{Ind: []int64{3, 7}, Val: 9}})
+	if !equalVec(one, vecOf([2]int64{3, 9}, [2]int64{7, 9})) {
+		t.Errorf("single-stream merge = %v/%v", one.Ind, one.Val)
+	}
+}
+
+// Property: SPA and the heap merge compute the same accumulation.
+func TestSPAHeapAgree(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := prng.New(seed)
+		const size = 200
+		k := rng.Intn(10) + 1
+		streams := make([]Stream, k)
+		spa := NewSPA(size)
+		for s := 0; s < k; s++ {
+			m := rng.Intn(30)
+			set := map[int64]bool{}
+			for i := 0; i < m; i++ {
+				set[rng.Int64n(size)] = true
+			}
+			ind := make([]int64, 0, len(set))
+			for i := int64(0); i < size; i++ {
+				if set[i] {
+					ind = append(ind, i)
+				}
+			}
+			val := rng.Int64n(1000)
+			streams[s] = Stream{Ind: ind, Val: val}
+			for _, i := range ind {
+				spa.Scatter(i, val)
+			}
+		}
+		a := spa.Extract(&Vec{})
+		b := MultiwayMerge(&Vec{}, streams)
+		return equalVec(a, b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge is commutative and the output is sorted.
+func TestMergeCommutativeSorted(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := prng.New(seed)
+		gen := func() *Vec {
+			n := rng.Intn(20)
+			ind := make([]int64, n)
+			val := make([]int64, n)
+			for i := range ind {
+				ind[i] = rng.Int64n(50)
+				val[i] = rng.Int64n(100)
+			}
+			return FromUnsorted(ind, val)
+		}
+		a, b := gen(), gen()
+		ab := Merge(&Vec{}, a, b)
+		ba := Merge(&Vec{}, b, a)
+		return equalVec(ab, ba) && ab.IsSorted()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := vecOf([2]int64{1, 1}, [2]int64{2, 2})
+	b := a.Clone()
+	b.Ind[0] = 99
+	if a.Ind[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}

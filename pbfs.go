@@ -1,0 +1,226 @@
+// Package pbfs is a Go reproduction of "Parallel Breadth-First Search on
+// Distributed Memory Systems" (Buluç & Madduri, SC 2011): distributed
+// BFS with 1D vertex partitioning (Algorithm 2) and 2D sparse-matrix
+// partitioning over a process grid (Algorithm 3), in flat and hybrid
+// (multithreaded-rank) variants, plus the paper's comparators, workload
+// generators, benchmark methodology and performance model.
+//
+// Ranks are goroutines over an MPI-like collective substrate; execution
+// is real (full distributed dataflow, validated against a serial oracle)
+// while time is simulated through the paper's Section 5 α-β cost model,
+// so results are deterministic and machine-independent. See DESIGN.md for
+// the architecture and EXPERIMENTS.md for the paper-vs-reproduction
+// record.
+//
+// Quick start:
+//
+//	g, _ := pbfs.NewRMATGraph(16, 16, 42)
+//	res, _ := g.BFS(g.Sources(1, 1)[0], pbfs.Options{
+//		Algorithm: pbfs.TwoDHybrid, Ranks: 16, Machine: "hopper",
+//	})
+//	fmt.Println(res.Levels, res.SimTime)
+package pbfs
+
+import (
+	"fmt"
+
+	"repro/internal/edgefile"
+	"repro/internal/graph"
+	"repro/internal/graph500"
+	"repro/internal/rmat"
+	"repro/internal/serial"
+	"repro/internal/webgen"
+)
+
+// Algorithm selects a BFS implementation.
+type Algorithm int
+
+// The paper's four variants plus the two comparator codes.
+const (
+	OneDFlat Algorithm = iota
+	OneDHybrid
+	TwoDFlat
+	TwoDHybrid
+	Reference
+	PBGL
+)
+
+// String returns the display name used in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case OneDFlat:
+		return "1D Flat MPI"
+	case OneDHybrid:
+		return "1D Hybrid"
+	case TwoDFlat:
+		return "2D Flat MPI"
+	case TwoDHybrid:
+		return "2D Hybrid"
+	case Reference:
+		return "Graph500 reference"
+	case PBGL:
+		return "PBGL"
+	}
+	return "unknown"
+}
+
+// Unreached marks unreachable vertices in distance and parent arrays.
+const Unreached = serial.Unreached
+
+// Graph is a graph ready for traversal and benchmarking. Graphs are
+// undirected (symmetrized) unless built with NewDirectedGraph.
+type Graph struct {
+	el       *graph.EdgeList
+	csr      *graph.CSR
+	directed bool
+}
+
+// NewRMATGraph generates a Graph 500 R-MAT graph (a=0.59, b=c=0.19,
+// edge factor edges per vertex), randomly relabeled for load balance and
+// symmetrized, exactly as the paper's synthetic instances.
+func NewRMATGraph(scale, edgeFactor int, seed uint64) (*Graph, error) {
+	el, err := rmat.Graph500(scale, edgeFactor, seed).GenerateUndirected()
+	if err != nil {
+		return nil, err
+	}
+	return fromEdgeList(el)
+}
+
+// NewWebCrawlGraph generates a high-diameter (≈140 BFS levels) synthetic
+// web crawl standing in for the paper's uk-union dataset.
+func NewWebCrawlGraph(numVerts int64, seed uint64) (*Graph, error) {
+	el, err := webgen.UKUnionLike(numVerts, seed).GenerateUndirected()
+	if err != nil {
+		return nil, err
+	}
+	return fromEdgeList(el)
+}
+
+// NewGraphFromEdges builds a graph from explicit undirected edges; each
+// pair {u, v} is stored in both directions.
+func NewGraphFromEdges(numVerts int64, edges [][2]int64) (*Graph, error) {
+	el := &graph.EdgeList{NumVerts: numVerts}
+	for _, e := range edges {
+		el.Edges = append(el.Edges, graph.Edge{U: e[0], V: e[1]})
+	}
+	return fromEdgeList(el.Symmetrize())
+}
+
+// NewGraphFromFile loads a directed binary edge file written by
+// cmd/graphgen and symmetrizes it.
+func NewGraphFromFile(path string) (*Graph, error) {
+	el, err := edgefile.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromEdgeList(el.Symmetrize())
+}
+
+// NewDirectedGraph builds a graph from directed edges without
+// symmetrizing: BFS then follows edge direction, as the paper notes its
+// approaches support ("the BFS approaches can work with directed graphs
+// as well", Section 6). Validation of directed results checks distances
+// against the serial oracle but skips the undirected level-geometry
+// rule.
+func NewDirectedGraph(numVerts int64, edges [][2]int64) (*Graph, error) {
+	el := &graph.EdgeList{NumVerts: numVerts}
+	for _, e := range edges {
+		el.Edges = append(el.Edges, graph.Edge{U: e[0], V: e[1]})
+	}
+	g, err := fromEdgeList(el)
+	if err != nil {
+		return nil, err
+	}
+	g.directed = true
+	return g, nil
+}
+
+func fromEdgeList(el *graph.EdgeList) (*Graph, error) {
+	csr, err := graph.BuildCSR(el, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{el: el, csr: csr}, nil
+}
+
+// NumVerts returns the vertex count.
+func (g *Graph) NumVerts() int64 { return g.csr.NumVerts }
+
+// NumEdges returns the number of undirected edges after deduplication.
+func (g *Graph) NumEdges() int64 { return g.csr.NumEdges() / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int64) int64 { return g.csr.Degree(v) }
+
+// Neighbors returns the sorted adjacency of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int64) []int64 { return g.csr.Neighbors(v) }
+
+// Sources samples up to k Graph 500 search keys: distinct vertices of
+// non-zero degree from the largest connected component. For directed
+// graphs the component structure follows stored edge direction (forward
+// reachability), so sampled keys are guaranteed useful but not
+// necessarily mutually reachable.
+func (g *Graph) Sources(k int, seed uint64) []int64 {
+	return graph500.SelectSources(g.csr, k, seed)
+}
+
+// SerialBFS runs the single-threaded reference BFS (Algorithm 1).
+func (g *Graph) SerialBFS(source int64) *Result {
+	r := serial.BFS(g.csr, source)
+	return &Result{
+		Source: source, Dist: r.Dist, Parent: r.Parent,
+		Levels:         r.MaxLevel(),
+		TraversedEdges: r.EdgesTraversed(g.csr) / 2,
+	}
+}
+
+// Validate checks a BFS result against the Graph 500 validation rules
+// and an independently computed serial reference. For directed graphs
+// the undirected edge-geometry rule does not apply; distances and tree
+// structure are checked against the serial oracle instead.
+func (g *Graph) Validate(res *Result) error {
+	if res == nil {
+		return fmt.Errorf("pbfs: nil result")
+	}
+	if g.directed {
+		ref := serial.BFS(g.csr, res.Source)
+		for v := range res.Dist {
+			if res.Dist[v] != ref.Dist[v] {
+				return fmt.Errorf("pbfs: directed validate: vertex %d dist %d != reference %d",
+					v, res.Dist[v], ref.Dist[v])
+			}
+		}
+		return nil
+	}
+	return graph500.ValidateOutput(g.csr, res.Source, res.Dist, res.Parent)
+}
+
+// Directed reports whether the graph was built without symmetrization.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Result is a BFS output with its simulated execution profile.
+type Result struct {
+	Source int64
+	Dist   []int64 // BFS level per vertex, Unreached if unreachable
+	Parent []int64 // BFS tree parent per vertex, Unreached if unreachable
+	Levels int64   // number of frontier expansions that discovered vertices
+	// TraversedEdges counts undirected edges incident to reached
+	// vertices: the TEPS denominator.
+	TraversedEdges int64
+	// SimTime and CommTime are simulated machine seconds (zero when no
+	// Machine was configured).
+	SimTime  float64
+	CommTime float64
+	// CommByPhase breaks communication down by collective tag
+	// (a2a/expand/fold/transpose/allreduce).
+	CommByPhase map[string]float64
+	// LevelFrontier, when Options.Trace is set, holds the number of
+	// vertices discovered at each level (the frontier-size profile).
+	LevelFrontier []int64
+}
+
+// TEPS returns the traversed-edges-per-second rate of the result.
+func (r *Result) TEPS() float64 {
+	return graph500.TEPS(r.TraversedEdges, r.SimTime)
+}

@@ -1,0 +1,183 @@
+package pbfs
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewRMATGraph(10, 8, 0xfeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAlgorithmEnumAligned(t *testing.T) {
+	// Projection casts Algorithm to perfmodel.Algo; the enums must agree.
+	pairs := []struct {
+		pub Algorithm
+		in  perfmodel.Algo
+	}{
+		{OneDFlat, perfmodel.OneDFlat}, {OneDHybrid, perfmodel.OneDHybrid},
+		{TwoDFlat, perfmodel.TwoDFlat}, {TwoDHybrid, perfmodel.TwoDHybrid},
+		{Reference, perfmodel.Reference}, {PBGL, perfmodel.PBGL},
+	}
+	for _, p := range pairs {
+		if int(p.pub) != int(p.in) {
+			t.Errorf("%v = %d but perfmodel %v = %d", p.pub, p.pub, p.in, p.in)
+		}
+		if p.pub.String() != p.in.String() {
+			t.Errorf("name mismatch: %q vs %q", p.pub, p.in)
+		}
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := testGraph(t)
+	if g.NumVerts() != 1024 {
+		t.Errorf("NumVerts = %d", g.NumVerts())
+	}
+	if g.NumEdges() <= 0 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	srcs := g.Sources(4, 1)
+	if len(srcs) != 4 {
+		t.Fatalf("Sources returned %d", len(srcs))
+	}
+	if g.Degree(srcs[0]) <= 0 {
+		t.Error("sampled source has no neighbors")
+	}
+	if len(g.Neighbors(srcs[0])) == 0 {
+		t.Error("Neighbors empty for sampled source")
+	}
+}
+
+func TestBFSAllAlgorithmsAgree(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 2)[0]
+	want := g.SerialBFS(src)
+	for _, algo := range []Algorithm{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid, Reference, PBGL} {
+		ranks := 9
+		if algo == OneDFlat || algo == Reference || algo == PBGL {
+			ranks = 6
+		}
+		res, err := g.BFS(src, Options{Algorithm: algo, Ranks: ranks, Machine: "franklin"})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if err := g.Validate(res); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for v := range res.Dist {
+			if res.Dist[v] != want.Dist[v] {
+				t.Fatalf("%v: dist[%d] = %d, want %d", algo, v, res.Dist[v], want.Dist[v])
+			}
+		}
+		if res.TraversedEdges != want.TraversedEdges {
+			t.Errorf("%v: traversed %d, want %d", algo, res.TraversedEdges, want.TraversedEdges)
+		}
+		if res.SimTime <= 0 || res.TEPS() <= 0 {
+			t.Errorf("%v: no simulated time", algo)
+		}
+	}
+}
+
+func TestBFSWithoutMachine(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 3)[0]
+	res, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime != 0 {
+		t.Errorf("SimTime without machine = %v", res.SimTime)
+	}
+	if err := g.Validate(res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSOptionErrors(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 4)[0]
+	if _, err := g.BFS(-1, Options{}); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := g.BFS(src, Options{Machine: "cray-3"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 7}); err == nil {
+		t.Error("non-square 2D rank count accepted")
+	}
+	if _, err := g.BFS(src, Options{Kernel: "btree"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestKernelAndDiagonalOptions(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 5)[0]
+	for _, kernel := range []string{"spa", "heap", "auto"} {
+		res, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 9, Kernel: kernel})
+		if err != nil {
+			t.Fatalf("kernel %s: %v", kernel, err)
+		}
+		if err := g.Validate(res); err != nil {
+			t.Fatalf("kernel %s: %v", kernel, err)
+		}
+	}
+	res, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 9, DiagonalVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewGraphFromEdges(t *testing.T) {
+	g, err := NewGraphFromEdges(4, [][2]int64{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.SerialBFS(0)
+	if res.Dist[3] != 3 {
+		t.Errorf("dist[3] = %d", res.Dist[3])
+	}
+	if _, err := NewGraphFromEdges(2, [][2]int64{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestWebCrawlGraph(t *testing.T) {
+	g, err := NewWebCrawlGraph(1<<12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.SerialBFS(0)
+	if res.Levels != 139 {
+		t.Errorf("crawl depth = %d, want 139", res.Levels)
+	}
+}
+
+func TestProjections(t *testing.T) {
+	p, err := ProjectRMAT("hopper", 40000, TwoDHybrid, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GTEPS < 10 || p.GTEPS > 35 {
+		t.Errorf("projected 40k-core GTEPS = %.1f, want near the paper's 17.8", p.GTEPS)
+	}
+	if p.Phases["expand"] <= 0 || p.Phases["fold"] <= 0 {
+		t.Error("projection lacks phase decomposition")
+	}
+	if _, err := ProjectRMAT("nope", 64, OneDFlat, 20, 16); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := ProjectWebCrawl("hopper", 4000, TwoDFlat); err != nil {
+		t.Error(err)
+	}
+}

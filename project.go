@@ -1,0 +1,54 @@
+package pbfs
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/perfmodel"
+)
+
+// Projection is a modeled per-search execution profile at a paper-scale
+// configuration (see internal/perfmodel for the Section 5 model).
+type Projection struct {
+	GTEPS       float64
+	TotalTime   float64
+	ComputeTime float64
+	CommTime    float64
+	Phases      map[string]float64
+	Ranks       int
+}
+
+// ProjectRMAT predicts the per-search profile of the given algorithm on
+// machine ("franklin", "hopper", "carver") at the given core count for a
+// Graph 500 R-MAT instance. This is how the repository regenerates the
+// paper's 40,000-core figures on one host.
+func ProjectRMAT(machine string, cores int, algo Algorithm, scale, edgeFactor int) (*Projection, error) {
+	return project(machine, cores, algo, perfmodel.RMATWorkload(scale, edgeFactor))
+}
+
+// ProjectWebCrawl predicts the per-search profile on the uk-union-sized
+// high-diameter crawl workload.
+func ProjectWebCrawl(machine string, cores int, algo Algorithm) (*Projection, error) {
+	return project(machine, cores, algo, perfmodel.UKUnionWorkload())
+}
+
+func project(machine string, cores int, algo Algorithm, wl perfmodel.Workload) (*Projection, error) {
+	m, ok := netmodel.Profiles()[machine]
+	if !ok {
+		return nil, fmt.Errorf("pbfs: unknown machine %q", machine)
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("pbfs: core count %d < 1", cores)
+	}
+	b := perfmodel.Predict(perfmodel.Config{
+		Machine: m, Cores: cores, Algo: perfmodel.Algo(algo),
+	}, wl)
+	return &Projection{
+		GTEPS:       b.GTEPS,
+		TotalTime:   b.Total,
+		ComputeTime: b.Comp,
+		CommTime:    b.Comm,
+		Phases:      b.Phase,
+		Ranks:       b.Ranks,
+	}, nil
+}

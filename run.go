@@ -1,0 +1,156 @@
+package pbfs
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bfs1d"
+	"repro/internal/bfs2d"
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/spmat"
+)
+
+// Options configures a distributed BFS run.
+type Options struct {
+	// Algorithm selects the implementation; the zero value is OneDFlat.
+	Algorithm Algorithm
+	// Ranks is the number of emulated processes (default 4). The 2D
+	// algorithms require a perfect square.
+	Ranks int
+	// Threads is the intra-rank threading width for hybrid variants; 0
+	// picks the machine profile's default (or 4 without a machine).
+	Threads int
+	// Machine names the cost-model profile ("franklin", "hopper",
+	// "carver") used to charge simulated time. Empty runs without time
+	// accounting (pure correctness).
+	Machine string
+	// Kernel selects the local SpMSV accumulator for 2D variants:
+	// "auto" (default), "spa", or "heap".
+	Kernel string
+	// DiagonalVectors switches the 2D variants to the diagonal-only
+	// vector distribution (the Figure 4 imbalance configuration).
+	DiagonalVectors bool
+	// Trace records the per-level discovery counts into the result.
+	Trace bool
+}
+
+// BFS runs a distributed breadth-first search from source under the
+// given options and returns the assembled result.
+func (g *Graph) BFS(source int64, opt Options) (*Result, error) {
+	if source < 0 || source >= g.NumVerts() {
+		return nil, fmt.Errorf("pbfs: source %d out of range [0,%d)", source, g.NumVerts())
+	}
+	ranks := opt.Ranks
+	if ranks < 1 {
+		ranks = 4
+	}
+
+	var machine *netmodel.Machine
+	if opt.Machine != "" {
+		m, ok := netmodel.Profiles()[opt.Machine]
+		if !ok {
+			return nil, fmt.Errorf("pbfs: unknown machine %q (want franklin, hopper or carver)", opt.Machine)
+		}
+		machine = m
+	}
+	threads := opt.Threads
+	hybrid := opt.Algorithm == OneDHybrid || opt.Algorithm == TwoDHybrid
+	if threads < 1 {
+		threads = 1
+		if hybrid {
+			threads = 4
+			if machine != nil {
+				threads = machine.ThreadsPerRank
+			}
+		}
+	}
+
+	var model cluster.CostModel = cluster.ZeroCost{}
+	var price cluster.Pricer
+	if machine != nil {
+		shared := machine.WithRanksPerNode(machine.CoresPerNode / threads)
+		model = shared
+		price = shared
+	}
+
+	kernel := spmat.KernelAuto
+	switch opt.Kernel {
+	case "", "auto":
+	case "spa":
+		kernel = spmat.KernelSPA
+	case "heap":
+		kernel = spmat.KernelHeap
+	default:
+		return nil, fmt.Errorf("pbfs: unknown kernel %q (want auto, spa or heap)", opt.Kernel)
+	}
+
+	w := cluster.NewWorld(ranks, model)
+	res := &Result{Source: source}
+	switch opt.Algorithm {
+	case OneDFlat, OneDHybrid:
+		dg, err := bfs1d.Distribute(g.el, ranks)
+		if err != nil {
+			return nil, err
+		}
+		out := bfs1d.Run(w, dg, source, bfs1d.Options{
+			Threads: threads, LocalShortcut: true, Price: price, Trace: opt.Trace,
+		})
+		res.Dist, res.Parent = out.Dist, out.Parent
+		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+		res.LevelFrontier = out.LevelFrontier
+	case Reference, PBGL:
+		dg, err := bfs1d.Distribute(g.el, ranks)
+		if err != nil {
+			return nil, err
+		}
+		var out *bfs1d.Output
+		if opt.Algorithm == Reference {
+			out = baseline.RunReference(w, dg, source, price)
+		} else {
+			out = baseline.RunPBGL(w, dg, source, price)
+		}
+		res.Dist, res.Parent = out.Dist, out.Parent
+		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+	case TwoDFlat, TwoDHybrid:
+		pr := isqrt(ranks)
+		if pr*pr != ranks {
+			return nil, fmt.Errorf("pbfs: 2D algorithms need a square rank count, got %d", ranks)
+		}
+		dg, err := bfs2d.Distribute(g.el, pr, pr, threads)
+		if err != nil {
+			return nil, err
+		}
+		grid := cluster.NewGrid(w, pr, pr)
+		vec := bfs2d.Dist2D
+		if opt.DiagonalVectors {
+			vec = bfs2d.DistDiag
+		}
+		out := bfs2d.Run(w, grid, dg, source, bfs2d.Options{
+			Threads: threads, Kernel: kernel, Vector: vec, Price: price, Trace: opt.Trace,
+		})
+		res.Dist, res.Parent = out.Dist, out.Parent
+		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+		res.LevelFrontier = out.LevelFrontier
+	default:
+		return nil, fmt.Errorf("pbfs: unknown algorithm %v", opt.Algorithm)
+	}
+
+	st := w.Stats()
+	res.SimTime = st.MaxClock
+	for _, c := range st.CommTime {
+		if c > res.CommTime {
+			res.CommTime = c
+		}
+	}
+	res.CommByPhase = st.CommByTag
+	return res, nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

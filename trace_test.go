@@ -1,0 +1,105 @@
+package pbfs
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestTraceProfiles(t *testing.T) {
+	g, err := NewWebCrawlGraph(1<<12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{OneDFlat, TwoDFlat} {
+		res, err := g.BFS(0, Options{Algorithm: algo, Ranks: 4, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(res.LevelFrontier)) != res.Levels {
+			t.Fatalf("%v: trace has %d levels, result says %d", algo, len(res.LevelFrontier), res.Levels)
+		}
+		var sum int64
+		for _, c := range res.LevelFrontier {
+			if c <= 0 {
+				t.Fatalf("%v: non-positive frontier count %d", algo, c)
+			}
+			sum += c
+		}
+		// Every vertex except the source is discovered exactly once.
+		var reached int64
+		for _, d := range res.Dist {
+			if d != Unreached {
+				reached++
+			}
+		}
+		if sum != reached-1 {
+			t.Errorf("%v: trace sums to %d, want %d (reached minus source)", algo, sum, reached-1)
+		}
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	g := testGraph(t)
+	res, err := g.BFS(g.Sources(1, 1)[0], Options{Algorithm: OneDFlat, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LevelFrontier != nil {
+		t.Error("trace recorded without Options.Trace")
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	// End-to-end through cmd/graphgen's format: write with the library,
+	// load with the facade, traverse.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+
+	// Use the graphgen binary if buildable (full integration); fall back
+	// to the library path if go build is unavailable in the sandbox.
+	bin := filepath.Join(dir, "graphgen")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/graphgen")
+	build.Env = os.Environ()
+	if err := build.Run(); err != nil {
+		t.Skipf("cannot build graphgen: %v", err)
+	}
+	gen := exec.Command(bin, "-kind", "rmat", "-scale", "9", "-edgefactor", "8", "-o", path)
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, out)
+	}
+	verify := exec.Command(bin, "-verify", path)
+	if out, err := verify.CombinedOutput(); err != nil {
+		t.Fatalf("graphgen -verify: %v\n%s", err, out)
+	}
+
+	g, err := NewGraphFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVerts() != 512 {
+		t.Errorf("NumVerts = %d", g.NumVerts())
+	}
+	src := g.Sources(1, 1)[0]
+	res, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphFileErrors(t *testing.T) {
+	if _, err := NewGraphFromFile("/nonexistent/g.edges"); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.edges")
+	if err := os.WriteFile(path, []byte("not an edge file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGraphFromFile(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
