@@ -10,6 +10,13 @@
 // configurations through the calibrated Section 5 model) and, with
 // -emulate (default on), an EMULATED block (real execution of the
 // distributed algorithms at laptop scale over goroutine ranks).
+//
+// With -bench-out, it additionally measures the real wall-clock cost of
+// the four BFS level loops (ns/op, allocs/op via testing.Benchmark)
+// alongside their simulated TEPS and writes the machine-readable BENCH
+// trajectory file:
+//
+//	bfsbench -bench-out BENCH_bfs.json -bench-scale 16
 package main
 
 import (
@@ -26,12 +33,25 @@ func main() {
 		experiment = flag.String("experiment", "all", "experiment id or 'all' (see -list)")
 		emulate    = flag.Bool("emulate", true, "also run the downscaled emulated experiments")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		benchOut   = flag.String("bench-out", "", "write wall-clock level-loop benchmarks to this JSON file (e.g. BENCH_bfs.json) and exit")
+		benchScale = flag.Int("bench-scale", 16, "R-MAT scale for -bench-out")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s  %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	if *benchOut != "" {
+		rep, err := bench.WallClock(*benchScale, 16, 0xbf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(*benchOut, os.Stdout); err != nil {
+			fatal(err)
 		}
 		return
 	}

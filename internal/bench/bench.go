@@ -97,6 +97,12 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 
 	res := &EmuResult{PhaseMax: map[string]float64{}}
 	runs := make([]graph500.Run, 0, len(sources))
+	// One scratch arena per algorithm family, reused across the searches
+	// (the Graph 500 protocol's steady state).
+	var arena1 bfs1d.Arena
+	var arena2 bfs2d.Arena
+	defer arena1.Close()
+	defer arena2.Close()
 	for i, src := range sources {
 		w := cluster.NewWorld(cfg.Ranks, machine)
 		var dist, parent []int64
@@ -104,7 +110,8 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 		switch cfg.Algo {
 		case perfmodel.OneDFlat, perfmodel.OneDHybrid:
 			out := bfs1d.Run(w, g1, src, bfs1d.Options{
-				Threads: threads, LocalShortcut: true, Price: machine,
+				Threads: threads, LocalShortcut: true, DedupSends: true,
+				Price: machine, Arena: &arena1,
 			})
 			dist, parent, levels, traversed = out.Dist, out.Parent, out.Levels, out.TraversedEdges
 		case perfmodel.Reference:
@@ -116,7 +123,8 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 		case perfmodel.TwoDFlat, perfmodel.TwoDHybrid:
 			grid := cluster.NewGrid(w, pr, pr)
 			out := bfs2d.Run(w, grid, g2, src, bfs2d.Options{
-				Threads: threads, Kernel: cfg.Kernel, Vector: cfg.Vector, Price: machine,
+				Threads: threads, Kernel: cfg.Kernel, Vector: cfg.Vector,
+				Price: machine, Arena: &arena2,
 			})
 			dist, parent, levels, traversed = out.Dist, out.Parent, out.Levels, out.TraversedEdges
 		}

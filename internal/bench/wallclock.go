@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/bfs1d"
+	"repro/internal/bfs2d"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/graph500"
+	"repro/internal/netmodel"
+)
+
+// WallResult is one configuration's wall-clock and simulated profile:
+// ns/op and allocs/op measure the real Go execution of the level loop
+// (graph distribution excluded), while SimSeconds/SimTEPS come from the
+// calibrated Section 5 clock. Together they form the BENCH trajectory
+// the repository tracks across PRs.
+type WallResult struct {
+	Config      string  `json:"config"`
+	Ranks       int     `json:"ranks"`
+	Threads     int     `json:"threads"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	SimTEPS     float64 `json:"sim_teps"`
+}
+
+// WallReport is the machine-readable payload of BENCH_bfs.json.
+type WallReport struct {
+	Scale      int          `json:"scale"`
+	EdgeFactor int          `json:"edge_factor"`
+	Seed       uint64       `json:"seed"`
+	Results    []WallResult `json:"results"`
+}
+
+// WallClock benchmarks the four BFS variants' level loops on one R-MAT
+// instance: real ns/op, bytes/op, and allocs/op via testing.Benchmark,
+// plus each configuration's simulated time and TEPS. The graph is
+// generated and distributed once per variant, outside the timed region.
+func WallClock(scale, ef int, seed uint64) (*WallReport, error) {
+	el, err := rmatEdges(scale, ef, seed)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := graph.BuildCSR(el, true)
+	if err != nil {
+		return nil, err
+	}
+	sources := graph500.SelectSources(ref, 1, seed)
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("bench: no usable wall-clock source")
+	}
+	src := sources[0]
+	machine := netmodel.Franklin()
+	const ranks = 16
+	report := &WallReport{Scale: scale, EdgeFactor: ef, Seed: seed}
+
+	for _, cfg := range []struct {
+		name    string
+		threads int
+		twoD    bool
+	}{
+		{"1d-flat", 1, false},
+		{"1d-hybrid", 4, false},
+		{"2d-flat", 1, true},
+		{"2d-hybrid", 4, true},
+	} {
+		// Each branch builds a closure running one full search over its
+		// cross-run arena; the measurement protocol below is shared.
+		var run func() (simTime float64, traversed int64)
+		var closeArena func()
+		if cfg.twoD {
+			dg, err := bfs2d.Distribute(el, 4, 4, cfg.threads)
+			if err != nil {
+				return nil, err
+			}
+			arena := &bfs2d.Arena{}
+			closeArena = arena.Close
+			opt := bfs2d.Options{Threads: cfg.threads, Price: machine, Arena: arena}
+			run = func() (float64, int64) {
+				w := cluster.NewWorld(ranks, machine)
+				grid := cluster.NewGrid(w, 4, 4)
+				out := bfs2d.Run(w, grid, dg, src, opt)
+				return w.Stats().MaxClock, out.TraversedEdges
+			}
+		} else {
+			dg, err := bfs1d.Distribute(el, ranks)
+			if err != nil {
+				return nil, err
+			}
+			opt := bfs1d.DefaultOptions()
+			opt.Threads = cfg.threads
+			opt.Price = machine
+			opt.Arena = &bfs1d.Arena{}
+			closeArena = opt.Arena.Close
+			run = func() (float64, int64) {
+				w := cluster.NewWorld(ranks, machine)
+				out := bfs1d.Run(w, dg, src, opt)
+				return w.Stats().MaxClock, out.TraversedEdges
+			}
+		}
+		res := WallResult{Config: cfg.name, Ranks: ranks, Threads: cfg.threads}
+		simTime, traversed := run()
+		res.SimSeconds = simTime
+		res.SimTEPS = graph500.TEPS(graph500.UndirectedEdges(traversed), simTime)
+		fill(&res, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		}))
+		closeArena()
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}
+
+func fill(res *WallResult, r testing.BenchmarkResult) {
+	res.NsPerOp = float64(r.NsPerOp())
+	res.AllocsPerOp = float64(r.AllocsPerOp())
+	res.BytesPerOp = float64(r.AllocedBytesPerOp())
+}
+
+// WriteJSON writes the report to path, and a human summary to w.
+func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n=== Wall-clock BFS level loops (scale %d, ef %d) -> %s ===\n",
+		rep.Scale, rep.EdgeFactor, path)
+	fmt.Fprintf(w, "%-10s %6s %3s %14s %14s %12s %12s\n",
+		"config", "ranks", "t", "ns/op", "allocs/op", "sim-s", "sim-TEPS")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-10s %6d %3d %14.0f %14.0f %12.3g %12.4g\n",
+			r.Config, r.Ranks, r.Threads, r.NsPerOp, r.AllocsPerOp, r.SimSeconds, r.SimTEPS)
+	}
+	return nil
+}

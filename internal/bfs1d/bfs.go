@@ -1,32 +1,86 @@
 package bfs1d
 
 import (
+	"repro/internal/bits"
 	"repro/internal/cluster"
+	"repro/internal/scratch"
 	"repro/internal/serial"
+	"repro/internal/smp"
 )
 
 // Options configures a 1D BFS run.
 type Options struct {
 	// Threads is the intra-rank threading width: 1 (or 0) is the flat
 	// algorithm, >1 the hybrid algorithm with thread-local buffers merged
-	// per level (Algorithm 2's tBuf stacks).
+	// per level (Algorithm 2's tBuf stacks). Threads run on real
+	// goroutines (an internal/smp worker pool), so the hybrid variant is
+	// measured in wall-clock time as well as priced in simulated time.
+	// Its outputs are bit-identical to the flat algorithm's: thread-local
+	// buffers are merged in frontier order.
 	Threads int
 	// LocalShortcut updates locally-owned discoveries in place instead of
 	// routing them through the all-to-all like the reference code does.
 	// This is one of the work-efficiency optimizations distinguishing the
 	// paper's 1D implementation from the Graph 500 reference (Section 6).
 	LocalShortcut bool
+	// DedupSends filters duplicate remote discoveries with a per-rank
+	// bitmap before the all-to-all, so each distinct target vertex is
+	// sent at most once per level — the other Section 6 work-efficiency
+	// optimization. It reduces both the real exchanged volume and the
+	// modeled sendWords.
+	DedupSends bool
 	// Price charges local computation to the simulated clock; nil prices
 	// nothing (pure correctness mode).
 	Price cluster.Pricer
 	// Trace records the per-level discovery profile into the output
 	// (costs nothing: it reuses the termination allreduce's totals).
 	Trace bool
+	// Arena, when non-nil, recycles every per-rank working buffer across
+	// consecutive Runs (the Graph 500 protocol performs 16-64 searches
+	// back to back), so repeated searches allocate only their output
+	// arrays. An Arena serves one Run at a time; it resizes lazily when
+	// the partition or thread shape changes.
+	Arena *Arena
+}
+
+// Arena is the reusable cross-run scratch of Run: one arena per rank,
+// indexed by rank id. The zero value is ready to use.
+type Arena struct {
+	ranks []rankArena
+}
+
+// rankArena is one rank's scratch: the distance/parent working arrays
+// (copied into the Output at assembly, so safely recycled), the frontier
+// double buffer, per-owner send buffers, the dedup bitmap, and the
+// hybrid variant's worker team and thread-local stacks.
+type rankArena struct {
+	dist, parent []int64
+	fsBuf        [2][]int64
+	send         [][]int64
+	dedup        *bits.Bitmap
+	pool         *smp.Pool
+	tstate       []threadScratch
+}
+
+// team returns the rank's persistent worker pool at width t, recycling
+// the previous team when the width matches.
+func (ar *rankArena) team(t int) *smp.Pool {
+	ar.pool = smp.Team(ar.pool, t)
+	return ar.pool
+}
+
+// Close releases the worker teams held by the arena. The arena remains
+// usable; teams are respawned on demand.
+func (a *Arena) Close() {
+	for i := range a.ranks {
+		a.ranks[i].pool.Close()
+		a.ranks[i].pool = nil
+	}
 }
 
 // DefaultOptions returns the paper's tuned flat configuration.
 func DefaultOptions() Options {
-	return Options{Threads: 1, LocalShortcut: true}
+	return Options{Threads: 1, LocalShortcut: true, DedupSends: true}
 }
 
 // Output is the result of a distributed BFS, assembled globally.
@@ -49,6 +103,17 @@ type Output struct {
 // thread barrier in model operations; the hybrid algorithm pays three per
 // level (Algorithm 2 lines 17, 20, 22).
 const threadBarrierOps = 4000
+
+// threadScratch is one worker's thread-local buffers: per-owner send
+// stacks and local-discovery candidates, plus the volume counters that
+// feed the performance model. Workers fill their scratch in parallel with
+// no shared mutable state; the serial merge drains them in thread order.
+type threadScratch struct {
+	send      [][]int64 // per-owner (target, parent) pair stacks
+	local     []int64   // (local index, parent) candidate pairs
+	adjWords  int64
+	localHits int64
+}
 
 // Run executes a BFS from source over the distributed graph on the given
 // world. The world size must equal the partition's rank count.
@@ -73,15 +138,24 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 	edgesPer := make([]int64, p)
 	var trace []int64
 
+	arena := opt.Arena
+	if arena == nil {
+		arena = &Arena{}
+		defer arena.Close()
+	}
+	arena.ranks = scratch.Ranks(arena.ranks, p)
+
 	w.Run(func(r *cluster.Rank) {
 		me := r.ID()
 		lg := g.Locals[me]
 		nloc := pt.Count(me)
 		start := pt.Start(me)
 		price := opt.Price
+		ar := &arena.ranks[me]
 
-		dist := make([]int64, nloc)
-		parent := make([]int64, nloc)
+		dist := scratch.Grown(ar.dist, nloc)
+		parent := scratch.Grown(ar.parent, nloc)
+		ar.dist, ar.parent = dist, parent
 		for i := range dist {
 			dist[i] = serial.Unreached
 			parent[i] = serial.Unreached
@@ -89,15 +163,46 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 		// Initialization streams both arrays once.
 		r.ChargeMem(price, 0, 0, 2*nloc, 0)
 
-		fs := make([]int64, 0, 1024) // local indices of current frontier
+		// Per-rank scratch arena: send buffers, the frontier double
+		// buffer, the dedup bitmap, and the thread team all persist
+		// across levels, so steady-state levels allocate nothing. The
+		// frontier buffers never leave the rank; send buffers are handed
+		// to the all-to-all by reference, but receivers finish reading
+		// them before the level's allreduce, which precedes the next
+		// level's writes.
+		fs := ar.fsBuf[0][:0] // local indices of current frontier
 		if pt.Owner(source) == me {
 			sl := source - start
 			dist[sl] = 0
 			parent[sl] = source
 			fs = append(fs, sl)
+			ar.fsBuf[0] = fs
+		}
+		curBuf := 0
+		if len(ar.send) != p {
+			ar.send = make([][]int64, p)
+		}
+		send := ar.send
+		var dedup *bits.Bitmap
+		if opt.DedupSends {
+			if ar.dedup == nil || ar.dedup.Len() != pt.N {
+				ar.dedup = bits.NewBitmap(pt.N)
+			}
+			dedup = ar.dedup
+		}
+		var pool *smp.Pool
+		var tstate []threadScratch
+		if t > 1 {
+			pool = ar.team(t)
+			if len(ar.tstate) != t || len(ar.tstate[0].send) != p {
+				ar.tstate = make([]threadScratch, t)
+				for th := range ar.tstate {
+					ar.tstate[th].send = make([][]int64, p)
+				}
+			}
+			tstate = ar.tstate
 		}
 
-		send := make([][]int64, p)
 		var level int64 = 1
 		for {
 			// ---- Frontier expansion into per-owner buffers ----
@@ -106,28 +211,111 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 			}
 			var adjWords int64  // adjacency stream volume
 			var localHits int64 // targets handled via the local shortcut
-			ns := fs[:0:0]      // next frontier (fresh backing array)
-			for _, ul := range fs {
-				ug := start + ul
-				for _, v := range lg.Neighbors(ul) {
-					adjWords++
-					o := pt.Owner(v)
-					if opt.LocalShortcut && o == me {
-						vl := v - start
-						localHits++
+			curBuf = 1 - curBuf
+			ns := ar.fsBuf[curBuf][:0] // next frontier (double buffer)
+			if t > 1 {
+				// Hybrid expansion (Algorithm 2 lines 10-16): each worker
+				// scans a contiguous chunk of the frontier into its
+				// thread-local stacks, reading but never writing the
+				// distance array.
+				chunk := (len(fs) + t - 1) / t
+				cur := fs
+				pool.Do(t, func(th int) {
+					ts := &tstate[th]
+					for o := range ts.send {
+						ts.send[o] = ts.send[o][:0]
+					}
+					ts.local = ts.local[:0]
+					ts.adjWords, ts.localHits = 0, 0
+					lo := th * chunk
+					hi := lo + chunk
+					if lo > len(cur) {
+						lo = len(cur)
+					}
+					if hi > len(cur) {
+						hi = len(cur)
+					}
+					for _, ul := range cur[lo:hi] {
+						ug := start + ul
+						for _, v := range lg.Neighbors(ul) {
+							ts.adjWords++
+							o := pt.Owner(v)
+							if opt.LocalShortcut && o == me {
+								ts.localHits++
+								vl := v - start
+								// Read-only filter against the pre-level
+								// state; the serial merge re-checks.
+								if dist[vl] == serial.Unreached {
+									ts.local = append(ts.local, vl, ug)
+								}
+								continue
+							}
+							ts.send[o] = append(ts.send[o], v, ug)
+						}
+					}
+				})
+				// Serial merge of the thread-local stacks (line 19).
+				// Chunks are contiguous and drained in thread order, so
+				// claims and the dedup filter see discoveries in exactly
+				// the flat algorithm's frontier order: outputs are
+				// bit-identical to Threads=1.
+				for th := range tstate {
+					ts := &tstate[th]
+					adjWords += ts.adjWords
+					localHits += ts.localHits
+					for k := 0; k+1 < len(ts.local); k += 2 {
+						vl, ug := ts.local[k], ts.local[k+1]
 						if dist[vl] == serial.Unreached {
 							dist[vl] = level
 							parent[vl] = ug
 							ns = append(ns, vl)
 						}
-						continue
 					}
-					send[o] = append(send[o], v, ug)
+					for o := range ts.send {
+						for k := 0; k+1 < len(ts.send[o]); k += 2 {
+							v := ts.send[o][k]
+							if dedup != nil && !dedup.TestAndSet(v) {
+								continue
+							}
+							send[o] = append(send[o], v, ts.send[o][k+1])
+						}
+					}
+				}
+			} else {
+				for _, ul := range fs {
+					ug := start + ul
+					for _, v := range lg.Neighbors(ul) {
+						adjWords++
+						o := pt.Owner(v)
+						if opt.LocalShortcut && o == me {
+							vl := v - start
+							localHits++
+							if dist[vl] == serial.Unreached {
+								dist[vl] = level
+								parent[vl] = ug
+								ns = append(ns, vl)
+							}
+							continue
+						}
+						if dedup != nil && !dedup.TestAndSet(v) {
+							continue
+						}
+						send[o] = append(send[o], v, ug)
+					}
 				}
 			}
 			var sendWords int64
 			for j := range send {
 				sendWords += int64(len(send[j]))
+			}
+			if dedup != nil {
+				// Clear only the bits this level set: one sweep over the
+				// deduped send volume, no reallocation.
+				for j := range send {
+					for k := 0; k < len(send[j]); k += 2 {
+						dedup.Clear(send[j][k])
+					}
+				}
 			}
 			// Charge the expansion: one XAdj probe per frontier vertex,
 			// adjacency + buffer writes streamed, one owner computation
@@ -176,6 +364,7 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 			if total == 0 {
 				break
 			}
+			ar.fsBuf[curBuf] = ns
 			fs = ns
 			level++
 		}

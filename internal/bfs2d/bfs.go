@@ -2,7 +2,9 @@ package bfs2d
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/scratch"
 	"repro/internal/serial"
+	"repro/internal/smp"
 	"repro/internal/spmat"
 	"repro/internal/spvec"
 )
@@ -35,6 +37,49 @@ type Options struct {
 	// Trace records the per-level discovery profile into the output
 	// (costs nothing: it reuses the termination allreduce's totals).
 	Trace bool
+	// Arena, when non-nil, recycles every per-rank working buffer across
+	// consecutive Runs (the Graph 500 protocol performs 16-64 searches
+	// back to back), so repeated searches allocate only their output
+	// arrays. An Arena serves one Run at a time; it resizes lazily when
+	// the grid or graph shape changes.
+	Arena *Arena
+}
+
+// Arena is the reusable cross-run scratch of Run: one arena per rank,
+// indexed by world rank id. The zero value is ready to use.
+type Arena struct {
+	ranks []rankArena
+}
+
+// rankArena is one rank's scratch: the distance/parent working arrays
+// (copied into the Output at assembly, so safely recycled), the frontier
+// double buffer, fold send buffers, kernel scratches, the strip worker
+// team, and the vectors of the level loop.
+type rankArena struct {
+	dist, parent          []int64
+	frontBuf              [2][]int64
+	send                  [][]int64
+	pairs                 []int64
+	localF, spOut, merged spvec.Vec
+	rowScratch            spmat.RowScratch
+	mergeScratch          spvec.MergeScratch
+	pool                  *smp.Pool
+}
+
+// team returns the rank's persistent worker pool at width t, recycling
+// the previous team when the width matches.
+func (ar *rankArena) team(t int) *smp.Pool {
+	ar.pool = smp.Team(ar.pool, t)
+	return ar.pool
+}
+
+// Close releases the worker teams held by the arena. The arena remains
+// usable; teams are respawned on demand.
+func (a *Arena) Close() {
+	for i := range a.ranks {
+		a.ranks[i].pool.Close()
+		a.ranks[i].pool = nil
+	}
 }
 
 // DefaultOptions returns the paper's tuned flat 2D configuration.
@@ -93,6 +138,13 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 	levelsPer := make([]int64, p)
 	var trace []int64
 
+	arena := opt.Arena
+	if arena == nil {
+		arena = &Arena{}
+		defer arena.Close()
+	}
+	arena.ranks = scratch.Ranks(arena.ranks, p)
+
 	w.Run(func(r *cluster.Rank) {
 		me := r.ID()
 		i, j := grid.RowOf(me), grid.ColOf(me)
@@ -101,11 +153,13 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 		rowG := grid.RowGroup(r)
 		colG := grid.ColGroup(r)
 		world := w.WorldGroup()
+		ar := &arena.ranks[me]
 
 		vLo, vHi := pt.OwnedRange(i, j)
 		nOwn := vHi - vLo
-		dist := make([]int64, nOwn)
-		parent := make([]int64, nOwn)
+		dist := scratch.Grown(ar.dist, nOwn)
+		parent := scratch.Grown(ar.parent, nOwn)
+		ar.dist, ar.parent = dist, parent
 		for k := range dist {
 			dist[k] = serial.Unreached
 			parent[k] = serial.Unreached
@@ -116,16 +170,36 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 		rowLo := pt.RowStart(i)
 		rowHi := pt.RowStart(i + 1)
 
-		// frontier: sorted global indices within my owned vector range.
-		var frontier []int64
+		// Per-rank scratch arena: every buffer below is written once per
+		// level and reused, so steady-state levels allocate nothing.
+		//
+		// The frontier is double-buffered. A level's frontier is handed by
+		// reference to the transpose peer and read by its column group
+		// during that level's expand, which completes before those ranks
+		// reach the level's terminating allreduce; by the time this rank
+		// builds a new frontier (two allreduces later for a given buffer),
+		// no reader can still hold it.
+		frontier := ar.frontBuf[0][:0]
 		if si, sj := pt.VecOwner(source); si == i && sj == j {
 			dist[source-vLo] = 0
 			parent[source-vLo] = source
-			frontier = []int64{source}
+			frontier = append(frontier, source)
+			ar.frontBuf[0] = frontier
 		}
+		curBuf := 0
 
+		// The hybrid variant runs one persistent worker per strip
+		// (Algorithm 2's thread team); the flat variant runs strips inline.
+		var pool *smp.Pool
+		if t > 1 {
+			pool = ar.team(t)
+		}
 		spMSVOpts := spmat.SpMSVOpts{Kernel: opt.Kernel}
-		var localF, spOut spvec.Vec
+		localF, spOut, merged := &ar.localF, &ar.spOut, &ar.merged
+		if len(ar.send) != grid.Pc {
+			ar.send = make([][]int64, grid.Pc)
+		}
+		send := ar.send
 		var level int64 = 1
 		for {
 			// ---- TransposeVector (Algorithm 3 line 5) ----
@@ -148,8 +222,8 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			r.ChargeMem(price, 0, 0, 2*gathered, gathered)
 
 			// ---- Local SpMSV (line 7) ----
-			work := block.Work(&localF)
-			block.SpMSV(&spOut, &localF, spMSVOpts, t > 1)
+			work := block.Work(localF)
+			block.SpMSV(spOut, localF, spMSVOpts, pool, &ar.rowScratch)
 			if price != nil {
 				stripWS := (rowHi - rowLo) / int64(t)
 				par := price.MemCost(work, stripWS, work+int64(spOut.NNZ()), work)
@@ -161,7 +235,11 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			}
 
 			// ---- Fold: Alltoallv along the process row (line 8) ----
-			send := make([][]int64, grid.Pc)
+			// Send buffers are reused each level: receivers finish reading
+			// them before their allreduce, which precedes the next fold.
+			for k := range send {
+				send[k] = send[k][:0]
+			}
 			cursor := 0
 			for k := 0; k < grid.Pc; k++ {
 				pieceLo := pt.VecStart(i, k) - rowLo
@@ -175,21 +253,23 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			}
 			recv := rowG.Alltoallv(r, send, "fold")
 
-			// Merge the pc received pieces (select,max) over my range.
+			// Merge the pc received pieces (select,max) over my range:
+			// every piece arrives sorted, so a k-way merge does it in
+			// O(W log pc) with no intermediate slices.
 			var recvWords int64
 			for _, part := range recv {
 				recvWords += int64(len(part))
 			}
-			merged := mergeFoldPieces(recv, vLo)
+			spvec.FoldMerge(merged, recv, vLo, &ar.mergeScratch)
 			if price != nil {
 				r.Charge(price.MemCost(0, 0, 2*recvWords, recvWords) / float64(t))
 			}
 
 			// ---- Mask visited and update (lines 9-11) ----
-			// The new frontier goes into a fresh slice: the old one was
-			// handed by reference to the transpose peer and its column
-			// group, which may still be reading it.
-			frontier = make([]int64, 0, merged.NNZ())
+			// The new frontier goes into the buffer not currently visible
+			// to remote readers (see the double-buffer note above).
+			curBuf = 1 - curBuf
+			frontier = ar.frontBuf[curBuf][:0]
 			for k, vl := range merged.Ind {
 				if parent[vl] == serial.Unreached {
 					parent[vl] = merged.Val[k]
@@ -197,6 +277,7 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 					frontier = append(frontier, vl+vLo)
 				}
 			}
+			ar.frontBuf[curBuf] = frontier
 			r.ChargeMem(price, int64(merged.NNZ()), nOwn, int64(merged.NNZ()), 0)
 
 			// ---- Termination (implicit in line 4) ----
@@ -221,22 +302,12 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 	return out
 }
 
-// mergeFoldPieces converts the received fold pieces ((global index,
-// parent) pairs, each piece sorted) into a single local sparse vector
-// with (select,max) collision resolution.
-func mergeFoldPieces(recv [][]int64, vLo int64) *spvec.Vec {
-	var ind, val []int64
-	for _, part := range recv {
-		for k := 0; k+1 < len(part); k += 2 {
-			ind = append(ind, part[k]-vLo)
-			val = append(val, part[k+1])
-		}
-	}
-	return spvec.FromUnsorted(ind, val)
-}
-
 // assemble gathers the per-rank vector pieces into global arrays and
-// computes the traversed-edge count.
+// computes the traversed-edge count: one streaming pass over the distance
+// array against the distribution-time column degrees, the same
+// sum-of-degrees-over-reached-vertices the 1D path computes from its
+// local CSR (and, like there, TEPS bookkeeping rather than algorithm
+// work — it is not charged to the simulated clock).
 func assemble(pt Part2D, grid *cluster.Grid, g *Graph, source int64,
 	distLoc, parentLoc [][]int64, levels int64) *Output {
 
@@ -249,20 +320,19 @@ func assemble(pt Part2D, grid *cluster.Grid, g *Graph, source int64,
 		copy(out.Dist[lo:], distLoc[id])
 		copy(out.Parent[lo:], parentLoc[id])
 	}
-	// Sum degrees of reached vertices: count column nonzeros per reached
-	// source column across blocks (the transposed matrix stores edge
-	// u->v at column u).
-	for bi := range g.Blocks {
-		for bj, blk := range g.Blocks[bi] {
-			colLo := pt.ColStart(bj)
-			for _, strip := range blk.Strips {
-				for k, c := range strip.JC {
-					if out.Dist[colLo+c] != serial.Unreached {
-						out.TraversedEdges += strip.CP[k+1] - strip.CP[k]
-					}
-				}
-			}
+	out.TraversedEdges = traversedEdges(g, out.Dist)
+	return out
+}
+
+// traversedEdges sums the stored out-degrees of reached vertices (the
+// transposed blocks store edge u->v at column u, so ColDegree[u] is u's
+// stored degree).
+func traversedEdges(g *Graph, dist []int64) int64 {
+	var total int64
+	for u, d := range dist {
+		if d != serial.Unreached {
+			total += g.ColDegree[u]
 		}
 	}
-	return out
+	return total
 }

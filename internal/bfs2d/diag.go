@@ -4,7 +4,9 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/scratch"
 	"repro/internal/serial"
+	"repro/internal/smp"
 	"repro/internal/spmat"
 	"repro/internal/spvec"
 )
@@ -27,6 +29,13 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 	parentLoc := make([][]int64, p)
 	levelsPer := make([]int64, p)
 
+	arena := opt.Arena
+	if arena == nil {
+		arena = &Arena{}
+		defer arena.Close()
+	}
+	arena.ranks = scratch.Ranks(arena.ranks, p)
+
 	w.Run(func(r *cluster.Rank) {
 		me := r.ID()
 		i, j := grid.RowOf(me), grid.ColOf(me)
@@ -36,6 +45,7 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 		colG := grid.ColGroup(r)
 		world := w.WorldGroup()
 		onDiag := i == j
+		ar := &arena.ranks[me]
 
 		rowLo := pt.RowStart(i)
 		rowHi := pt.RowStart(i + 1)
@@ -45,8 +55,9 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 		var dist, parent []int64
 		if onDiag {
 			nOwn := rowHi - rowLo
-			dist = make([]int64, nOwn)
-			parent = make([]int64, nOwn)
+			dist = scratch.Grown(ar.dist, nOwn)
+			parent = scratch.Grown(ar.parent, nOwn)
+			ar.dist, ar.parent = dist, parent
 			for k := range dist {
 				dist[k] = serial.Unreached
 				parent[k] = serial.Unreached
@@ -54,15 +65,25 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 			r.ChargeMem(price, 0, 0, 2*nOwn, 0)
 		}
 
-		var frontier []int64 // global ids; non-empty only on the diagonal
+		// Frontier double buffer (diagonal ranks only), with the same
+		// safety argument as the 2D-vector path: a level's readers finish
+		// with a buffer before that level's allreduce.
+		frontier := ar.frontBuf[0][:0] // global ids; non-empty only on the diagonal
 		if onDiag && pt.RowBlockOf(source) == i {
 			dist[source-rowLo] = 0
 			parent[source-rowLo] = source
-			frontier = []int64{source}
+			frontier = append(frontier, source)
+			ar.frontBuf[0] = frontier
 		}
+		curBuf := 0
 
+		var pool *smp.Pool
+		if t > 1 {
+			pool = ar.team(t)
+		}
 		spMSVOpts := spmat.SpMSVOpts{Kernel: opt.Kernel}
-		var localF, spOut spvec.Vec
+		localF, spOut, merged := &ar.localF, &ar.spOut, &ar.merged
+		pairs := ar.pairs
 		var level int64 = 1
 		for {
 			// ---- Expand: broadcast from the diagonal down the column ----
@@ -78,29 +99,33 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 			r.ChargeMem(price, 0, 0, 2*int64(len(gathered)), int64(len(gathered)))
 
 			// ---- Local SpMSV ----
-			work := block.Work(&localF)
-			block.SpMSV(&spOut, &localF, spMSVOpts, t > 1)
+			work := block.Work(localF)
+			block.SpMSV(spOut, localF, spMSVOpts, pool, &ar.rowScratch)
 			if price != nil {
 				stripWS := (rowHi - rowLo) / int64(t)
 				r.Charge(price.MemCost(work, stripWS, work+int64(spOut.NNZ()), work) / float64(t))
 			}
 
 			// ---- Fold: gather the row's partials at the diagonal ----
-			pairs := make([]int64, 0, 2*spOut.NNZ())
+			// The pair buffer is reused each level: the diagonal finishes
+			// reading it before the level's allreduce.
+			pairs = pairs[:0]
 			for k, vl := range spOut.Ind {
 				pairs = append(pairs, vl+rowLo, spOut.Val[k])
 			}
+			ar.pairs = pairs
 			parts := rowG.Gatherv(r, i, pairs, "fold")
 
-			// The old frontier slice has been handed to the column; any
-			// replacement must be a fresh allocation.
-			frontier = nil
+			// The old frontier slice has been handed to the column; the
+			// replacement goes into the other buffer of the double pair.
+			curBuf = 1 - curBuf
+			frontier = ar.frontBuf[curBuf][:0]
 			if onDiag {
 				var recvWords int64
 				for _, part := range parts {
 					recvWords += int64(len(part))
 				}
-				merged := mergeFoldPieces(parts, rowLo)
+				spvec.FoldMerge(merged, parts, rowLo, &ar.mergeScratch)
 				// The diagonal's serial merge of pc partial vectors: this
 				// is the extra local phase that makes the rest of the row
 				// sit idle (Figure 4's 3-4x MPI-time skew).
@@ -108,7 +133,6 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 					logPc := int64(math.Ceil(math.Log2(float64(grid.Pc + 1))))
 					r.Charge(price.MemCost(recvWords/2, rowHi-rowLo, 2*recvWords, recvWords*logPc))
 				}
-				frontier = make([]int64, 0, merged.NNZ())
 				for k, vl := range merged.Ind {
 					if parent[vl] == serial.Unreached {
 						parent[vl] = merged.Val[k]
@@ -116,6 +140,7 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 						frontier = append(frontier, vl+rowLo)
 					}
 				}
+				ar.frontBuf[curBuf] = frontier
 			}
 
 			// ---- Termination: global Allreduce (as in Figure 4's loop) ----
@@ -141,17 +166,6 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 		copy(out.Dist[pt.RowStart(b):], distLoc[id])
 		copy(out.Parent[pt.RowStart(b):], parentLoc[id])
 	}
-	for bi := range g.Blocks {
-		for bj, blk := range g.Blocks[bi] {
-			colLo := pt.ColStart(bj)
-			for _, strip := range blk.Strips {
-				for k, c := range strip.JC {
-					if out.Dist[colLo+c] != serial.Unreached {
-						out.TraversedEdges += strip.CP[k+1] - strip.CP[k]
-					}
-				}
-			}
-		}
-	}
+	out.TraversedEdges = traversedEdges(g, out.Dist)
 	return out
 }

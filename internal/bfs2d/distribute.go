@@ -18,6 +18,12 @@ import (
 type Graph struct {
 	Part   Part2D
 	Blocks [][]*spmat.RowSplit // [i][j], local row/col indices
+	// ColDegree[u] is the number of stored entries in global column u
+	// across all blocks: vertex u's out-degree after dedup. Precomputed
+	// once at distribution so per-search TEPS accounting is a single
+	// streaming pass over the distance array instead of re-walking every
+	// block's column structure.
+	ColDegree []int64
 }
 
 // Distribute builds the 2D distribution of an edge list on a pr × pc
@@ -61,6 +67,17 @@ func Distribute(el *graph.EdgeList, pr, pc, threads int) (*Graph, error) {
 			}
 			g.Blocks[i][j] = rs
 			buckets[i][j] = nil
+		}
+	}
+	g.ColDegree = make([]int64, pt.N)
+	for i := range g.Blocks {
+		for j, blk := range g.Blocks[i] {
+			colLo := pt.ColStart(j)
+			for _, strip := range blk.Strips {
+				for k, c := range strip.JC {
+					g.ColDegree[colLo+c] += strip.CP[k+1] - strip.CP[k]
+				}
+			}
 		}
 	}
 	return g, nil

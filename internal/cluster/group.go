@@ -5,10 +5,24 @@ import (
 	"sync"
 )
 
+// payload is the typed union moved through the collective rendezvous. A
+// concrete struct instead of `any` keeps the per-level hot path free of
+// interface boxing: depositing a slice or an integer allocates nothing.
+type payload struct {
+	vec []int64
+	mat [][]int64
+	num int64
+	f   float64
+}
+
 // Group is a communicator: an ordered subset of world ranks that perform
 // collectives together. Groups are created before Run (or collectively
 // inside it, provided every member creates the same groups in the same
 // order). A rank's position within the group is its group rank.
+//
+// Collective results follow MPI receive-buffer discipline: the slices a
+// member gets back are valid until that member's next collective on the
+// same group, after which the group may recycle them.
 type Group struct {
 	world   *World
 	members []int       // world ids, in group-rank order
@@ -18,10 +32,15 @@ type Group struct {
 	cv      *sync.Cond
 	gen     uint64
 	arrived int
-	deposit []any
-	result  []any
+	deposit []payload
+	result  []payload
 	clocks  []float64
 	leave   float64 // clock value every participant leaves with
+	// scratch holds one reusable [][]int64 per member for result
+	// assembly (all-to-all receive rows, gather parts), recycled every
+	// round; counts is the reusable volume-counting buffer.
+	scratch [][][]int64
+	counts  []int64
 	// poisoned records a panic raised while completing a collective; it
 	// is re-raised on every waiting participant so a failed operation
 	// cannot deadlock the rest of the group.
@@ -38,8 +57,8 @@ func (w *World) NewGroup(members []int) *Group {
 		world:   w,
 		members: append([]int(nil), members...),
 		index:   make(map[int]int, len(members)),
-		deposit: make([]any, len(members)),
-		result:  make([]any, len(members)),
+		deposit: make([]payload, len(members)),
+		result:  make([]payload, len(members)),
 		clocks:  make([]float64, len(members)),
 	}
 	g.cv = sync.NewCond(&g.mu)
@@ -69,14 +88,39 @@ func (g *Group) RankIn(r *Rank) int {
 // Member returns the world id of group rank i.
 func (g *Group) Member(i int) int { return g.members[i] }
 
+// scratchRow returns member i's reusable result-assembly row, sized to
+// the group. Callers run under g.mu (inside finish).
+func (g *Group) scratchRow(i int) [][]int64 {
+	if g.scratch == nil {
+		g.scratch = make([][][]int64, len(g.members))
+	}
+	if g.scratch[i] == nil {
+		g.scratch[i] = make([][]int64, len(g.members))
+	}
+	return g.scratch[i]
+}
+
+// countBufs returns two reusable zeroed int64 buffers of group size.
+// Callers run under g.mu (inside finish).
+func (g *Group) countBufs() (a, b []int64) {
+	n := len(g.members)
+	if g.counts == nil {
+		g.counts = make([]int64, 2*n)
+	}
+	for i := range g.counts {
+		g.counts[i] = 0
+	}
+	return g.counts[:n], g.counts[n:]
+}
+
 // collective is the SPMD rendezvous shared by all collective operations.
 // Each member deposits its contribution; the last arriver calls finish
-// with all deposits (indexed by group rank) to compute per-member results
-// and the operation's modeled cost; every member leaves with its result,
-// its clock advanced to max(entry clocks) + cost, and the time spent
-// (including waiting for stragglers) booked to tag.
-func (g *Group) collective(r *Rank, deposit any, tag string,
-	finish func(deposits []any) (results []any, cost float64)) any {
+// with all deposits (indexed by group rank) to fill the result slots and
+// return the operation's modeled cost; every member leaves with its
+// result, its clock advanced to max(entry clocks) + cost, and the time
+// spent (including waiting for stragglers) booked to tag.
+func (g *Group) collective(r *Rank, deposit payload, tag string,
+	finish func(deposits, results []payload) (cost float64)) payload {
 
 	me := g.RankIn(r)
 	if me < 0 {
@@ -105,10 +149,7 @@ func (g *Group) collective(r *Rank, deposit any, tag string,
 					panic(e)
 				}
 			}()
-			results, cost := finish(g.deposit)
-			if len(results) != len(g.members) {
-				panic("cluster: finish returned wrong result count")
-			}
+			cost := finish(g.deposit, g.result)
 			var maxClock float64
 			for _, c := range g.clocks {
 				if c > maxClock {
@@ -116,10 +157,9 @@ func (g *Group) collective(r *Rank, deposit any, tag string,
 				}
 			}
 			g.leave = maxClock + cost
-			copy(g.result, results)
 		}()
 		for i := range g.deposit {
-			g.deposit[i] = nil
+			g.deposit[i] = payload{}
 		}
 		g.arrived = 0
 		g.gen++
@@ -141,15 +181,19 @@ func (g *Group) collective(r *Rank, deposit any, tag string,
 
 // Barrier synchronizes the group.
 func (g *Group) Barrier(r *Rank, tag string) {
-	g.collective(r, nil, tag, func([]any) ([]any, float64) {
-		return make([]any, len(g.members)), g.world.Model.Barrier(len(g.members))
+	g.collective(r, payload{}, tag, func(_, results []payload) float64 {
+		for i := range results {
+			results[i] = payload{}
+		}
+		return g.world.Model.Barrier(len(g.members))
 	})
 }
 
 // Alltoallv performs an irregular personalized all-to-all: send[j] goes
 // to group rank j; the returned slice holds, at position i, the data
 // received from group rank i. Slices are passed by reference — receivers
-// must not mutate them, mirroring MPI buffer discipline.
+// must not mutate them, and may read them only until their next
+// collective on this group, mirroring MPI buffer discipline.
 func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
 	if len(send) != len(g.members) {
 		panic("cluster: Alltoallv send buffer count != group size")
@@ -159,13 +203,11 @@ func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
 		sent += int64(len(s))
 	}
 	r.sentWords += sent
-	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+	out := g.collective(r, payload{mat: send}, tag, func(deposits, results []payload) float64 {
 		n := len(g.members)
-		results := make([]any, n)
-		recvCounts := make([]int64, n)
-		sendCounts := make([]int64, n)
+		sendCounts, recvCounts := g.countBufs()
 		for src := 0; src < n; src++ {
-			mat := deposits[src].([][]int64)
+			mat := deposits[src].mat
 			for dst := 0; dst < n; dst++ {
 				sendCounts[src] += int64(len(mat[dst]))
 				recvCounts[dst] += int64(len(mat[dst]))
@@ -184,14 +226,14 @@ func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
 		}
 		cost := g.world.Model.Alltoallv(n, maxSend, maxRecv)
 		for dst := 0; dst < n; dst++ {
-			recv := make([][]int64, n)
+			recv := g.scratchRow(dst)
 			for src := 0; src < n; src++ {
-				recv[src] = deposits[src].([][]int64)[dst]
+				recv[src] = deposits[src].mat[dst]
 			}
-			results[dst] = recv
+			results[dst] = payload{mat: recv}
 		}
-		return results, cost
-	}).([][]int64)
+		return cost
+	}).mat
 	for _, part := range out {
 		r.recvWords += int64(len(part))
 	}
@@ -202,21 +244,20 @@ func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
 // result holds, at position i, the data contributed by group rank i.
 func (g *Group) Allgatherv(r *Rank, send []int64, tag string) [][]int64 {
 	r.sentWords += int64(len(send))
-	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+	out := g.collective(r, payload{vec: send}, tag, func(deposits, results []payload) float64 {
 		n := len(g.members)
-		parts := make([][]int64, n)
+		parts := g.scratchRow(0)
 		var total int64
 		for i := 0; i < n; i++ {
-			parts[i] = deposits[i].([]int64)
+			parts[i] = deposits[i].vec
 			total += int64(len(parts[i]))
 		}
 		cost := g.world.Model.Allgatherv(n, total)
-		results := make([]any, n)
 		for i := range results {
-			results[i] = parts
+			results[i] = payload{mat: parts}
 		}
-		return results, cost
-	}).([][]int64)
+		return cost
+	}).mat
 	for i, part := range out {
 		if g.members[i] != r.id {
 			r.recvWords += int64(len(part))
@@ -227,34 +268,32 @@ func (g *Group) Allgatherv(r *Rank, send []int64, tag string) [][]int64 {
 
 // AllreduceSum returns the sum of every member's value.
 func (g *Group) AllreduceSum(r *Rank, v int64, tag string) int64 {
-	return g.collective(r, v, tag, func(deposits []any) ([]any, float64) {
+	return g.collective(r, payload{num: v}, tag, func(deposits, results []payload) float64 {
 		var sum int64
-		for _, d := range deposits {
-			sum += d.(int64)
+		for i := range deposits {
+			sum += deposits[i].num
 		}
-		results := make([]any, len(g.members))
 		for i := range results {
-			results[i] = sum
+			results[i] = payload{num: sum}
 		}
-		return results, g.world.Model.Allreduce(len(g.members), 1)
-	}).(int64)
+		return g.world.Model.Allreduce(len(g.members), 1)
+	}).num
 }
 
 // AllreduceMax returns the max of every member's value.
 func (g *Group) AllreduceMax(r *Rank, v float64, tag string) float64 {
-	return g.collective(r, v, tag, func(deposits []any) ([]any, float64) {
-		mx := deposits[0].(float64)
-		for _, d := range deposits[1:] {
-			if f := d.(float64); f > mx {
+	return g.collective(r, payload{f: v}, tag, func(deposits, results []payload) float64 {
+		mx := deposits[0].f
+		for i := range deposits[1:] {
+			if f := deposits[1+i].f; f > mx {
 				mx = f
 			}
 		}
-		results := make([]any, len(g.members))
 		for i := range results {
-			results[i] = mx
+			results[i] = payload{f: mx}
 		}
-		return results, g.world.Model.Allreduce(len(g.members), 1)
-	}).(float64)
+		return g.world.Model.Allreduce(len(g.members), 1)
+	}).f
 }
 
 // Bcast distributes root's data (by group rank) to all members.
@@ -262,14 +301,13 @@ func (g *Group) Bcast(r *Rank, root int, data []int64, tag string) []int64 {
 	if g.RankIn(r) == root {
 		r.sentWords += int64(len(data)) * int64(len(g.members)-1)
 	}
-	out := g.collective(r, data, tag, func(deposits []any) ([]any, float64) {
-		payload := deposits[root].([]int64)
-		results := make([]any, len(g.members))
+	out := g.collective(r, payload{vec: data}, tag, func(deposits, results []payload) float64 {
+		pl := deposits[root].vec
 		for i := range results {
-			results[i] = payload
+			results[i] = payload{vec: pl}
 		}
-		return results, g.world.Model.Bcast(len(g.members), int64(len(payload)))
-	}).([]int64)
+		return g.world.Model.Bcast(len(g.members), int64(len(pl)))
+	}).vec
 	if g.RankIn(r) != root {
 		r.recvWords += int64(len(out))
 	}
@@ -281,22 +319,23 @@ func (g *Group) Bcast(r *Rank, root int, data []int64, tag string) []int64 {
 // indexed by group rank.
 func (g *Group) Gatherv(r *Rank, root int, send []int64, tag string) [][]int64 {
 	r.sentWords += int64(len(send))
-	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+	parts := g.collective(r, payload{vec: send}, tag, func(deposits, results []payload) float64 {
 		n := len(g.members)
-		parts := make([][]int64, n)
+		parts := g.scratchRow(0)
 		var total int64
 		for i := 0; i < n; i++ {
-			parts[i] = deposits[i].([]int64)
+			parts[i] = deposits[i].vec
 			total += int64(len(parts[i]))
 		}
-		results := make([]any, n)
-		results[root] = parts
-		return results, g.world.Model.Gatherv(n, total)
-	})
-	if out == nil {
+		for i := range results {
+			results[i] = payload{}
+		}
+		results[root] = payload{mat: parts}
+		return g.world.Model.Gatherv(n, total)
+	}).mat
+	if parts == nil {
 		return nil
 	}
-	parts := out.([][]int64)
 	for i, part := range parts {
 		if g.members[i] != r.id {
 			r.recvWords += int64(len(part))
@@ -319,22 +358,21 @@ func (g *Group) SendRecvAll(r *Rank, peerOf func(groupRank int) int, send []int6
 	if peer != me {
 		r.sentWords += int64(len(send))
 	}
-	out := g.collective(r, send, tag, func(deposits []any) ([]any, float64) {
+	out := g.collective(r, payload{vec: send}, tag, func(deposits, results []payload) float64 {
 		n := len(g.members)
-		results := make([]any, n)
 		var maxWords int64
 		for i := 0; i < n; i++ {
 			p := peerOf(i)
 			if peerOf(p) != i {
 				panic("cluster: SendRecvAll permutation is not an involution")
 			}
-			results[i] = deposits[p].([]int64)
-			if w := int64(len(deposits[p].([]int64))); w > maxWords && p != i {
+			results[i] = payload{vec: deposits[p].vec}
+			if w := int64(len(deposits[p].vec)); w > maxWords && p != i {
 				maxWords = w
 			}
 		}
-		return results, g.world.Model.PointToPoint(maxWords)
-	}).([]int64)
+		return g.world.Model.PointToPoint(maxWords)
+	}).vec
 	if peer != me {
 		r.recvWords += int64(len(out))
 	}

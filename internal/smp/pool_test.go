@@ -1,0 +1,64 @@
+package smp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			p.Do(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolReuseAcrossRounds(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total int64
+	for round := 0; round < 200; round++ {
+		n := round % 17
+		p.Do(n, func(i int) { atomic.AddInt64(&total, int64(i)) })
+	}
+	var want int64
+	for round := 0; round < 200; round++ {
+		n := round % 17
+		want += int64(n * (n - 1) / 2)
+	}
+	if total != want {
+		t.Errorf("total = %d, want %d", total, want)
+	}
+}
+
+func TestPoolNilAndWidthOneRunInline(t *testing.T) {
+	var nilPool *Pool
+	order := make([]int, 0, 5)
+	nilPool.Do(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	if nilPool.Width() != 1 {
+		t.Errorf("nil pool width = %d", nilPool.Width())
+	}
+	one := NewPool(0)
+	defer one.Close()
+	if one.Width() != 1 {
+		t.Errorf("width-0 pool width = %d", one.Width())
+	}
+	order = order[:0]
+	one.Do(3, func(i int) { order = append(order, i) })
+	if len(order) != 3 {
+		t.Errorf("inline pool ran %d of 3 tasks", len(order))
+	}
+}

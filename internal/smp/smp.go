@@ -19,7 +19,6 @@ package smp
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/bits"
@@ -59,53 +58,53 @@ func Run(g *graph.CSR, source int64, opt Options) *serial.Result {
 	dist[source] = 0
 	parent[source] = source
 
+	// The worker team persists across levels; each level is one Do round
+	// (Algorithm 2's parallel region), so steady-state levels spawn no
+	// goroutines and reuse every buffer.
+	pool := NewPool(threads)
+	defer pool.Close()
+
 	frontier := []int64{source}
+	var merged []int64 // next-frontier double buffer
 	next := make([][]int64, threads)
 	var level int64 = 1
 	for len(frontier) > 0 {
 		var cursor int64
-		var wg sync.WaitGroup
-		for t := 0; t < threads; t++ {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				local := next[t][:0]
-				for {
-					start := atomic.AddInt64(&cursor, int64(chunk)) - int64(chunk)
-					if start >= int64(len(frontier)) {
-						break
-					}
-					end := start + int64(chunk)
-					if end > int64(len(frontier)) {
-						end = int64(len(frontier))
-					}
-					for _, u := range frontier[start:end] {
-						for _, v := range g.Neighbors(u) {
-							if visited.TestAndSet(v) {
-								// This thread won the claim: it is the
-								// only writer of v's distance and parent.
-								dist[v] = level
-								parent[v] = u
-								local = append(local, v)
-							}
+		cur := frontier
+		pool.Do(threads, func(t int) {
+			local := next[t][:0]
+			for {
+				start := atomic.AddInt64(&cursor, int64(chunk)) - int64(chunk)
+				if start >= int64(len(cur)) {
+					break
+				}
+				end := start + int64(chunk)
+				if end > int64(len(cur)) {
+					end = int64(len(cur))
+				}
+				for _, u := range cur[start:end] {
+					for _, v := range g.Neighbors(u) {
+						if visited.TestAndSet(v) {
+							// This thread won the claim: it is the
+							// only writer of v's distance and parent.
+							dist[v] = level
+							parent[v] = u
+							local = append(local, v)
 						}
 					}
 				}
-				next[t] = local
-			}(t)
-		}
-		wg.Wait()
+			}
+			next[t] = local
+		})
 
 		// Merge thread-local stacks into the next frontier (the O(n)
 		// cumulative copy the paper measures as a very minor overhead).
-		total := 0
+		// frontier and merged alternate between two persistent buffers.
+		merged = merged[:0]
 		for t := range next {
-			total += len(next[t])
+			merged = append(merged, next[t]...)
 		}
-		frontier = make([]int64, 0, total)
-		for t := range next {
-			frontier = append(frontier, next[t]...)
-		}
+		frontier, merged = merged, frontier
 		level++
 	}
 	return &serial.Result{Source: source, Dist: dist, Parent: parent}

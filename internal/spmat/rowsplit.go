@@ -1,8 +1,9 @@
 package spmat
 
-import "sync"
-
-import "repro/internal/spvec"
+import (
+	"repro/internal/smp"
+	"repro/internal/spvec"
+)
 
 // RowSplit partitions a DCSC rowwise into t strips, the layout the hybrid
 // 2D algorithm uses for intra-node multithreading (Section 4.1, Figure 2):
@@ -79,35 +80,60 @@ func (rs *RowSplit) NNZ() int64 {
 	return n
 }
 
+// RowScratch is the reusable per-rank working state of a RowSplit SpMSV:
+// one kernel Scratch and one output vector per strip. Strips own disjoint
+// scratches, so the strip-parallel execution shares no mutable state —
+// exactly the thread-local accumulators of the hybrid algorithm. The zero
+// value is ready to use and resizes lazily to the strip count it meets.
+type RowScratch struct {
+	parts []spvec.Vec
+	per   []Scratch
+}
+
+func (rsc *RowScratch) ensure(n int) {
+	if len(rsc.parts) < n {
+		rsc.parts = append(rsc.parts, make([]spvec.Vec, n-len(rsc.parts))...)
+	}
+	if len(rsc.per) < n {
+		rsc.per = append(rsc.per, make([]Scratch, n-len(rsc.per))...)
+	}
+}
+
 // SpMSV runs the product strip-parallel and concatenates the rebased
-// outputs into dst. The parallel flag distinguishes the hybrid algorithm
-// (true: one goroutine per strip, as hardware threads in the paper) from
-// a flat execution that still benefits from the strip layout's locality.
-func (rs *RowSplit) SpMSV(dst *spvec.Vec, f *spvec.Vec, opts SpMSVOpts, parallel bool) *spvec.Vec {
-	parts := make([]spvec.Vec, len(rs.Strips))
-	if parallel && len(rs.Strips) > 1 {
-		var wg sync.WaitGroup
-		for s := range rs.Strips {
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				stripOpts := opts
-				stripOpts.SPA = nil // per-strip accumulators cannot be shared
-				rs.Strips[s].SpMSV(&parts[s], f, stripOpts)
-			}(s)
+// outputs into dst. A non-nil pool executes one strip per worker — the
+// hybrid algorithm's real intra-rank threads; a nil pool runs the strips
+// serially (the flat algorithm, which still benefits from the strip
+// layout's locality). A non-nil rsc makes steady-state calls
+// allocation-free; opts.SPA and opts.Scratch apply per strip only when
+// their accumulator matches the strip's row range.
+func (rs *RowSplit) SpMSV(dst *spvec.Vec, f *spvec.Vec, opts SpMSVOpts, pool *smp.Pool, rsc *RowScratch) *spvec.Vec {
+	n := len(rs.Strips)
+	if rsc == nil {
+		rsc = &RowScratch{}
+	}
+	rsc.ensure(n)
+	parts := rsc.parts
+	parallel := pool != nil && n > 1
+	run := func(s int) {
+		stripOpts := opts
+		stripOpts.Scratch = &rsc.per[s]
+		// A caller-provided SPA can serve at most one strip at a time and
+		// only if it spans the strip's rows; concurrent strips always use
+		// their own scratch accumulators.
+		if stripOpts.SPA != nil && (parallel || stripOpts.SPA.Size() != rs.Strips[s].Rows) {
+			stripOpts.SPA = nil
 		}
-		wg.Wait()
+		rs.Strips[s].SpMSV(&parts[s], f, stripOpts)
+	}
+	if parallel {
+		pool.Do(n, run)
 	} else {
-		for s := range rs.Strips {
-			stripOpts := opts
-			if stripOpts.SPA != nil && stripOpts.SPA.Size() != rs.Strips[s].Rows {
-				stripOpts.SPA = nil
-			}
-			rs.Strips[s].SpMSV(&parts[s], f, stripOpts)
+		for s := 0; s < n; s++ {
+			run(s)
 		}
 	}
 	dst.Reset()
-	for s := range parts {
+	for s := range parts[:n] {
 		off := rs.Offsets[s]
 		for k, r := range parts[s].Ind {
 			dst.Ind = append(dst.Ind, r+off)

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/prng"
+	"repro/internal/smp"
 	"repro/internal/spvec"
 )
 
@@ -214,14 +215,20 @@ func TestRowSplitAgrees(t *testing.T) {
 		}
 		f := randomFrontier(rng, cols, rng.Intn(25))
 		want := d.SpMSV(&spvec.Vec{}, f, SpMSVOpts{Kernel: KernelSPA})
-		for _, parallel := range []bool{false, true} {
-			got := rs.SpMSV(&spvec.Vec{}, f, SpMSVOpts{Kernel: KernelHeap}, parallel)
-			if got.NNZ() != want.NNZ() || !got.IsSorted() {
-				return false
-			}
-			for i := range got.Ind {
-				if got.Ind[i] != want.Ind[i] || got.Val[i] != want.Val[i] {
+		pool := smp.NewPool(nthreads)
+		defer pool.Close()
+		var rsc RowScratch
+		for _, p := range []*smp.Pool{nil, pool} {
+			// Run twice per mode so scratch reuse is exercised.
+			for pass := 0; pass < 2; pass++ {
+				got := rs.SpMSV(&spvec.Vec{}, f, SpMSVOpts{Kernel: KernelHeap}, p, &rsc)
+				if got.NNZ() != want.NNZ() || !got.IsSorted() {
 					return false
+				}
+				for i := range got.Ind {
+					if got.Ind[i] != want.Ind[i] || got.Val[i] != want.Val[i] {
+						return false
+					}
 				}
 			}
 		}
@@ -249,6 +256,36 @@ func TestRowSplitStripShapes(t *testing.T) {
 	}
 	if total != 10 {
 		t.Errorf("strips cover %d rows, want 10", total)
+	}
+}
+
+// TestScratchReuseMatchesFresh drives both kernels through a shared
+// Scratch across differently shaped matrices and checks against
+// scratch-free runs: the pooled SPA, stream list, and cursor heap must
+// never leak state between calls.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := prng.New(0x5c)
+	var sc Scratch
+	for round := 0; round < 40; round++ {
+		rows := int64(rng.Intn(60) + 2)
+		cols := int64(rng.Intn(40) + 1)
+		d, err := NewDCSC(rows, cols, randomTriples(rng, rows, cols, rng.Intn(200)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := randomFrontier(rng, cols, rng.Intn(15))
+		for _, kernel := range []Kernel{KernelSPA, KernelHeap, KernelAuto} {
+			want := d.SpMSV(&spvec.Vec{}, f, SpMSVOpts{Kernel: kernel})
+			got := d.SpMSV(&spvec.Vec{}, f, SpMSVOpts{Kernel: kernel, Scratch: &sc})
+			if got.NNZ() != want.NNZ() {
+				t.Fatalf("round %d kernel %v: nnz %d != %d", round, kernel, got.NNZ(), want.NNZ())
+			}
+			for i := range got.Ind {
+				if got.Ind[i] != want.Ind[i] || got.Val[i] != want.Val[i] {
+					t.Fatalf("round %d kernel %v: entry %d differs", round, kernel, i)
+				}
+			}
+		}
 	}
 }
 

@@ -45,6 +45,28 @@ type SpMSVOpts struct {
 	// dense accumulator each BFS level. Its size must equal the matrix
 	// row dimension.
 	SPA *spvec.SPA
+	// Scratch, when non-nil, pools every per-call working structure (the
+	// SPA if opts.SPA is unset, the heap kernel's stream list and cursor
+	// heap) so steady-state calls allocate nothing. One Scratch serves one
+	// matrix at a time; it resizes itself lazily to the matrix it meets.
+	Scratch *Scratch
+}
+
+// Scratch is the reusable working state of the SpMSV kernels. The zero
+// value is ready to use.
+type Scratch struct {
+	spa     *spvec.SPA
+	streams []spvec.Stream
+	merge   spvec.MergeScratch
+}
+
+// spaFor returns a reusable SPA for a matrix with the given row count,
+// (re)allocating only when the row range changes.
+func (sc *Scratch) spaFor(rows int64) *spvec.SPA {
+	if sc.spa == nil || sc.spa.Size() != rows {
+		sc.spa = spvec.NewSPA(rows)
+	}
+	return sc.spa
 }
 
 // SpMSV computes dst = M ⊗ f over the (select,max) semiring: for every
@@ -74,7 +96,11 @@ func (m *DCSC) SpMSV(dst *spvec.Vec, f *spvec.Vec, opts SpMSVOpts) *spvec.Vec {
 	case KernelSPA:
 		spa := opts.SPA
 		if spa == nil || spa.Size() != m.Rows {
-			spa = spvec.NewSPA(m.Rows)
+			if opts.Scratch != nil {
+				spa = opts.Scratch.spaFor(m.Rows)
+			} else {
+				spa = spvec.NewSPA(m.Rows)
+			}
 		}
 		forEachSelected(m, f, func(j int, val int64) {
 			for _, r := range m.colRowsAt(j) {
@@ -83,11 +109,21 @@ func (m *DCSC) SpMSV(dst *spvec.Vec, f *spvec.Vec, opts SpMSVOpts) *spvec.Vec {
 		})
 		return spa.Extract(dst)
 	case KernelHeap:
-		streams := make([]spvec.Stream, 0, 16)
+		var streams []spvec.Stream
+		var merge *spvec.MergeScratch
+		if opts.Scratch != nil {
+			streams = opts.Scratch.streams[:0]
+			merge = &opts.Scratch.merge
+		} else {
+			streams = make([]spvec.Stream, 0, 16)
+		}
 		forEachSelected(m, f, func(j int, val int64) {
 			streams = append(streams, spvec.Stream{Ind: m.colRowsAt(j), Val: val})
 		})
-		return spvec.MultiwayMerge(dst, streams)
+		if opts.Scratch != nil {
+			opts.Scratch.streams = streams[:0]
+		}
+		return spvec.MultiwayMergeWith(dst, streams, merge)
 	}
 	panic("spmat: unknown kernel")
 }

@@ -1,0 +1,70 @@
+package spvec
+
+// MergeScratch holds the reusable cursor heap of the multiway merges so
+// steady-state callers (one fold merge per BFS level) allocate nothing.
+// The zero value is ready to use; a nil *MergeScratch falls back to a
+// per-call heap.
+type MergeScratch struct {
+	h []heapEntry
+}
+
+// FoldMerge merges k pair-encoded pieces ([i0,v0,i1,v1,...], indices
+// strictly increasing within each piece) into dst, subtracting sub from
+// every index and collapsing cross-piece index collisions with the
+// (select,max) rule. This is the 2D fold's merge of the pc received
+// partial vectors (Algorithm 3 line 8): because every piece arrives
+// already sorted, a k-way cursor merge costs O(W log k) for W total
+// pairs — instead of the O(W log W) concat-and-sort it replaces — and
+// writes straight into dst with no intermediate slices.
+//
+// A trailing odd word in a piece (a dangling index with no value) is
+// ignored, matching the defensive pairwise scans elsewhere in the BFS.
+//
+// The pop loop deliberately mirrors MultiwayMergeWith's rather than
+// sharing a core: the cursor encodings differ (pair-encoded pieces vs
+// Stream runs with a constant value), and an abstracted advance would
+// put an indirect call in this hot loop. Keep the two in sync.
+func FoldMerge(dst *Vec, pieces [][]int64, sub int64, sc *MergeScratch) *Vec {
+	dst.Reset()
+	var h []heapEntry
+	if sc != nil {
+		h = sc.h[:0]
+	}
+	for si, p := range pieces {
+		if len(p) >= 2 {
+			h = append(h, heapEntry{head: p[0], stream: int32(si), pos: 0})
+		}
+	}
+	buildHeap(h)
+	for len(h) > 0 {
+		idx := h[0].head
+		val := pieces[h[0].stream][2*h[0].pos+1]
+		// Pop every cursor sitting on idx, keeping the max value.
+		for {
+			p := pieces[h[0].stream]
+			if v := p[2*h[0].pos+1]; v > val {
+				val = v
+			}
+			pos := h[0].pos + 1
+			if 2*int(pos)+1 < len(p) {
+				h[0].pos = pos
+				h[0].head = p[2*pos]
+			} else {
+				h[0] = h[len(h)-1]
+				h = h[:len(h)-1]
+			}
+			if len(h) > 0 {
+				siftDown(h, 0)
+			}
+			if len(h) == 0 || h[0].head != idx {
+				break
+			}
+		}
+		dst.Ind = append(dst.Ind, idx-sub)
+		dst.Val = append(dst.Val, val)
+	}
+	if sc != nil {
+		sc.h = h[:0]
+	}
+	return dst
+}

@@ -23,8 +23,20 @@ type heapEntry struct {
 // where per-process SPA ranges become huge relative to frontier sizes
 // (Figure 3's crossover near 10k cores).
 func MultiwayMerge(dst *Vec, streams []Stream) *Vec {
+	return MultiwayMergeWith(dst, streams, nil)
+}
+
+// MultiwayMergeWith is MultiwayMerge with a reusable cursor heap, for
+// callers that merge once per BFS level and want the steady state
+// allocation-free.
+func MultiwayMergeWith(dst *Vec, streams []Stream, sc *MergeScratch) *Vec {
 	dst.Reset()
-	h := make([]heapEntry, 0, len(streams))
+	var h []heapEntry
+	if sc != nil {
+		h = sc.h[:0]
+	} else {
+		h = make([]heapEntry, 0, len(streams))
+	}
 	for si, s := range streams {
 		if len(s.Ind) > 0 {
 			h = append(h, heapEntry{head: s.Ind[0], stream: int32(si), pos: 0})
@@ -59,6 +71,9 @@ func MultiwayMerge(dst *Vec, streams []Stream) *Vec {
 		}
 		dst.Ind = append(dst.Ind, idx)
 		dst.Val = append(dst.Val, val)
+	}
+	if sc != nil {
+		sc.h = h[:0]
 	}
 	return dst
 }

@@ -1,7 +1,7 @@
 package spvec
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/bits"
 )
@@ -49,7 +49,7 @@ func (s *SPA) Scatter(i, val int64) {
 // resets the SPA for reuse. The explicit sort of the index list is the
 // extraction cost the paper notes for the SPA approach.
 func (s *SPA) Extract(dst *Vec) *Vec {
-	sort.Slice(s.inds, func(a, b int) bool { return s.inds[a] < s.inds[b] })
+	slices.Sort(s.inds)
 	dst.Reset()
 	for _, i := range s.inds {
 		dst.Ind = append(dst.Ind, i)

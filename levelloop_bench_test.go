@@ -1,0 +1,105 @@
+package pbfs
+
+// Wall-clock benchmarks of the distributed BFS level loops themselves:
+// the graph is generated and distributed once, outside the timer, so
+// ns/op and allocs/op measure exactly the per-search steady state (the
+// quantity the BENCH_bfs.json trajectory tracks). This is real Go
+// execution time, not simulated machine seconds.
+//
+//	go test -bench=BFSLevelLoop -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/bfs1d"
+	"repro/internal/bfs2d"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/graph500"
+	"repro/internal/netmodel"
+	"repro/internal/rmat"
+	"repro/internal/spmat"
+)
+
+// levelLoopScale is the Graph 500 scale of the benchmark workload: 2^16
+// vertices, edge factor 16 (big enough that steady-state levels dominate
+// per-search setup).
+const levelLoopScale = 16
+
+func levelLoopSource(b *testing.B, el *graph.EdgeList) int64 {
+	b.Helper()
+	ref, err := graph.BuildCSR(el, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := graph500.SelectSources(ref, 1, 0xbf)
+	if len(srcs) == 0 {
+		b.Fatal("no usable benchmark source")
+	}
+	return srcs[0]
+}
+
+func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel) {
+	b.Helper()
+	el, err := rmat.Graph500(levelLoopScale, 16, 0xbf).GenerateUndirected()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := isqrt(ranks)
+	if pr*pr != ranks {
+		b.Fatalf("ranks %d not square", ranks)
+	}
+	dg, err := bfs2d.Distribute(el, pr, pr, threads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := levelLoopSource(b, el)
+	machine := netmodel.Franklin()
+	var arena bfs2d.Arena
+	defer arena.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := cluster.NewWorld(ranks, machine)
+		grid := cluster.NewGrid(w, pr, pr)
+		out := bfs2d.Run(w, grid, dg, src, bfs2d.Options{
+			Threads: threads, Kernel: kernel, Price: machine, Arena: &arena,
+		})
+		if out.TraversedEdges == 0 {
+			b.Fatal("benchmark source did no work")
+		}
+	}
+}
+
+func benchLevelLoop1D(b *testing.B, ranks, threads int) {
+	b.Helper()
+	el, err := rmat.Graph500(levelLoopScale, 16, 0xbf).GenerateUndirected()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg, err := bfs1d.Distribute(el, ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := levelLoopSource(b, el)
+	machine := netmodel.Franklin()
+	opt := bfs1d.DefaultOptions()
+	opt.Threads = threads
+	opt.Price = machine
+	opt.Arena = &bfs1d.Arena{}
+	defer opt.Arena.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := cluster.NewWorld(ranks, machine)
+		out := bfs1d.Run(w, dg, src, opt)
+		if out.TraversedEdges == 0 {
+			b.Fatal("benchmark source did no work")
+		}
+	}
+}
+
+func BenchmarkBFSLevelLoop2DFlat(b *testing.B)   { benchLevelLoop2D(b, 16, 1, spmat.KernelAuto) }
+func BenchmarkBFSLevelLoop2DHybrid(b *testing.B) { benchLevelLoop2D(b, 16, 4, spmat.KernelAuto) }
+func BenchmarkBFSLevelLoop1DFlat(b *testing.B)   { benchLevelLoop1D(b, 16, 1) }
+func BenchmarkBFSLevelLoop1DHybrid(b *testing.B) { benchLevelLoop1D(b, 16, 4) }

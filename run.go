@@ -94,7 +94,8 @@ func (g *Graph) BFS(source int64, opt Options) (*Result, error) {
 			return nil, err
 		}
 		out := bfs1d.Run(w, dg, source, bfs1d.Options{
-			Threads: threads, LocalShortcut: true, Price: price, Trace: opt.Trace,
+			Threads: threads, LocalShortcut: true, DedupSends: true,
+			Price: price, Trace: opt.Trace,
 		})
 		res.Dist, res.Parent = out.Dist, out.Parent
 		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2

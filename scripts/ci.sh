@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's tier-1 gate plus hygiene checks:
+# formatting, vet, build, full tests, and a one-iteration benchmark
+# smoke pass over the BFS level loops.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt required for:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke (BFS level loops, 1 iteration) =="
+go test -run '^$' -bench=BFS -benchtime=1x -benchmem .
+
+echo "CI OK"
