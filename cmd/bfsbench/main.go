@@ -13,10 +13,14 @@
 //
 // With -bench-out, it additionally measures the real wall-clock cost of
 // the four BFS level loops (ns/op, allocs/op via testing.Benchmark)
-// alongside their simulated TEPS and writes the machine-readable BENCH
+// under the default direction-optimizing policy, records the
+// auto-vs-top-down scanned-edge comparison (total and restricted to the
+// bottom-up middle levels), and writes the machine-readable BENCH
 // trajectory file:
 //
 //	bfsbench -bench-out BENCH_bfs.json -bench-scale 16
+//
+// See EXPERIMENTS.md for the BENCH_bfs.json field reference.
 package main
 
 import (

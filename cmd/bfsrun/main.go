@@ -38,6 +38,7 @@ func main() {
 		kernel     = flag.String("kernel", "auto", "local SpMSV kernel for 2D: auto, spa, heap")
 		sources    = flag.Int("sources", 1, "number of Graph 500 search keys to run")
 		validate   = flag.Bool("validate", true, "validate against the serial oracle")
+		direction  = flag.String("direction", "auto", "traversal policy: auto, topdown, bottomup")
 		trace      = flag.Bool("trace", false, "print the per-level frontier profile")
 	)
 	flag.Parse()
@@ -45,6 +46,12 @@ func main() {
 	algo, ok := algoNames[*algoName]
 	if !ok {
 		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	dir, ok := map[string]pbfs.Direction{
+		"auto": pbfs.Auto, "topdown": pbfs.TopDownOnly, "bottomup": pbfs.BottomUpOnly,
+	}[*direction]
+	if !ok {
+		fatal(fmt.Errorf("unknown direction %q", *direction))
 	}
 
 	var g *pbfs.Graph
@@ -66,7 +73,7 @@ func main() {
 	for i, src := range keys {
 		res, err := g.BFS(src, pbfs.Options{
 			Algorithm: algo, Ranks: *ranks, Threads: *threads,
-			Machine: *machine, Kernel: *kernel, Trace: *trace,
+			Machine: *machine, Kernel: *kernel, Direction: dir, Trace: *trace,
 		})
 		if err != nil {
 			fatal(err)
@@ -80,6 +87,10 @@ func main() {
 			i+1, src, algo, *ranks, *machine)
 		fmt.Printf("  levels           %d\n", res.Levels)
 		fmt.Printf("  traversed edges  %d\n", res.TraversedEdges)
+		if res.ScannedTopDown+res.ScannedBottomUp > 0 {
+			fmt.Printf("  scanned edges    %d top-down + %d bottom-up\n",
+				res.ScannedTopDown, res.ScannedBottomUp)
+		}
 		if res.SimTime > 0 {
 			fmt.Printf("  simulated time   %.6f s\n", res.SimTime)
 			fmt.Printf("  TEPS             %.3e\n", res.TEPS())

@@ -1,0 +1,207 @@
+package pbfs
+
+import "testing"
+
+// directionsAgree runs one search under all three direction policies,
+// validates each result, and checks that distances (and therefore the
+// level structure) are identical — parents may differ between push and
+// pull but every tree must pass the oracle.
+func directionsAgree(t *testing.T, g *Graph, src int64, opt Options) map[Direction]*Result {
+	t.Helper()
+	out := map[Direction]*Result{}
+	for _, dir := range []Direction{Auto, TopDownOnly, BottomUpOnly} {
+		o := opt
+		o.Direction = dir
+		res, err := g.BFS(src, o)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", opt.Algorithm, dir, err)
+		}
+		if err := g.Validate(res); err != nil {
+			t.Fatalf("%v/%v failed validation: %v", opt.Algorithm, dir, err)
+		}
+		out[dir] = res
+	}
+	td := out[TopDownOnly]
+	for _, dir := range []Direction{Auto, BottomUpOnly} {
+		for v := range td.Dist {
+			if out[dir].Dist[v] != td.Dist[v] {
+				t.Fatalf("%v/%v: dist[%d] = %d, want %d", opt.Algorithm, dir, v, out[dir].Dist[v], td.Dist[v])
+			}
+		}
+		if out[dir].TraversedEdges != td.TraversedEdges {
+			t.Fatalf("%v/%v: TraversedEdges %d != top-down %d",
+				opt.Algorithm, dir, out[dir].TraversedEdges, td.TraversedEdges)
+		}
+	}
+	return out
+}
+
+func TestDirectionPoliciesOnRMAT(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 11)[0]
+	for _, algo := range []Algorithm{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid} {
+		ranks := 9
+		if algo == OneDFlat || algo == OneDHybrid {
+			ranks = 6
+		}
+		out := directionsAgree(t, g, src, Options{Algorithm: algo, Ranks: ranks, Machine: "franklin"})
+		td, auto := out[TopDownOnly], out[Auto]
+		if td.ScannedBottomUp != 0 {
+			t.Errorf("%v: top-down-only run recorded bottom-up work", algo)
+		}
+		if algo == OneDFlat || algo == OneDHybrid {
+			// The 1D push scans every stored adjacency slot of the
+			// reached set: exactly both directions of each traversed
+			// undirected edge.
+			if td.ScannedTopDown != 2*td.TraversedEdges {
+				t.Errorf("%v: top-down scanned %d, want %d", algo, td.ScannedTopDown, 2*td.TraversedEdges)
+			}
+		}
+		if auto.ScannedBottomUp == 0 {
+			t.Errorf("%v: auto never ran bottom-up on an R-MAT graph", algo)
+		}
+		if total := auto.ScannedTopDown + auto.ScannedBottomUp; total >= td.ScannedTopDown {
+			t.Errorf("%v: auto scanned %d, not below top-down-only %d", algo, total, td.ScannedTopDown)
+		}
+	}
+}
+
+func TestDirectionPoliciesOnDirectedGraph(t *testing.T) {
+	// Directed cycle with chords: bottom-up must follow in-edges, not
+	// out-edges, to produce correct directed distances.
+	edges := [][2]int64{}
+	const n = 60
+	for i := int64(0); i < n; i++ {
+		edges = append(edges, [2]int64{i, (i + 1) % n})
+	}
+	for i := int64(0); i < n; i += 7 {
+		edges = append(edges, [2]int64{i, (i + 13) % n})
+	}
+	g, err := NewDirectedGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{OneDFlat, TwoDFlat} {
+		directionsAgree(t, g, 3, Options{Algorithm: algo, Ranks: 4})
+	}
+}
+
+func TestDirectionPoliciesOnDisconnectedGraph(t *testing.T) {
+	// Two components plus isolated vertices; search from the smaller
+	// component, so most of the graph stays Unreached.
+	g, err := NewGraphFromEdges(20, [][2]int64{
+		{0, 1}, {1, 2}, {2, 0}, // component A
+		{5, 6}, {6, 7}, {7, 8}, {8, 9}, // component B
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{OneDFlat, TwoDFlat} {
+		out := directionsAgree(t, g, 5, Options{Algorithm: algo, Ranks: 4})
+		for _, res := range out {
+			if res.Dist[0] != Unreached || res.Dist[19] != Unreached {
+				t.Fatalf("%v: foreign component reached", algo)
+			}
+			if res.Dist[9] != 4 {
+				t.Fatalf("%v: dist[9] = %d, want 4 (path 5-6-7-8-9)", algo, res.Dist[9])
+			}
+		}
+	}
+}
+
+func TestDirectionPoliciesOnSingleVertexGraph(t *testing.T) {
+	g, err := NewGraphFromEdges(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{OneDFlat, TwoDFlat} {
+		out := directionsAgree(t, g, 0, Options{Algorithm: algo, Ranks: 1})
+		for _, res := range out {
+			if res.Dist[0] != 0 || res.Levels != 0 {
+				t.Fatalf("%v: single-vertex result %+v", algo, res)
+			}
+		}
+	}
+}
+
+func TestDirectionTrace(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 13)[0]
+	res, err := g.BFS(src, Options{Algorithm: OneDFlat, Ranks: 4, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LevelScanned) != len(res.LevelFrontier)+1 {
+		t.Fatalf("LevelScanned has %d entries, want %d", len(res.LevelScanned), len(res.LevelFrontier)+1)
+	}
+	if len(res.LevelBottomUp) != len(res.LevelScanned) {
+		t.Fatalf("LevelBottomUp has %d entries, want %d", len(res.LevelBottomUp), len(res.LevelScanned))
+	}
+	var td, bu int64
+	for l, s := range res.LevelScanned {
+		if res.LevelBottomUp[l] {
+			bu += s
+		} else {
+			td += s
+		}
+	}
+	if td != res.ScannedTopDown || bu != res.ScannedBottomUp {
+		t.Errorf("trace sums (%d, %d) != phase totals (%d, %d)", td, bu, res.ScannedTopDown, res.ScannedBottomUp)
+	}
+}
+
+func TestDirectionOptionErrors(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 14)[0]
+	if _, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 9, DiagonalVectors: true, Direction: BottomUpOnly}); err == nil {
+		t.Error("DiagonalVectors with BottomUpOnly accepted")
+	}
+	// Auto degrades to top-down under the diagonal layout rather than
+	// erroring: it is a policy, not a demand.
+	res, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 9, DiagonalVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(res); err != nil {
+		t.Error(err)
+	}
+	if _, err := g.BFS(src, Options{Direction: Direction(42)}); err == nil {
+		t.Error("unknown direction accepted")
+	}
+}
+
+func TestDirectionBenchmarkValidatesAuto(t *testing.T) {
+	// The Graph 500 protocol end to end under the default (auto)
+	// policy: every search oracle-validated.
+	g, err := NewRMATGraph(9, 8, 0xabc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.Benchmark(Options{Algorithm: TwoDHybrid, Ranks: 4, Machine: "hopper"}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSearches != 4 || st.HarmonicMeanTEPS <= 0 {
+		t.Errorf("unexpected batch stats %+v", st)
+	}
+}
+
+func TestProjectRMATDirOpt(t *testing.T) {
+	base, err := ProjectRMAT("franklin", 512, OneDFlat, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ProjectRMATDirOpt("franklin", 512, OneDFlat, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Phases["bitmap"] <= 0 {
+		t.Error("dir-opt projection lacks the bitmap phase")
+	}
+	if opt.TotalTime >= base.TotalTime {
+		t.Errorf("dir-opt projection %.4g not below baseline %.4g at 512 cores", opt.TotalTime, base.TotalTime)
+	}
+	if _, err := ProjectRMATDirOpt("nope", 64, OneDFlat, 20, 16); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bfs1d"
 	"repro/internal/bfs2d"
 	"repro/internal/cluster"
+	"repro/internal/dirheur"
 	"repro/internal/graph"
 	"repro/internal/graph500"
 	"repro/internal/netmodel"
@@ -17,18 +18,31 @@ import (
 
 // WallResult is one configuration's wall-clock and simulated profile:
 // ns/op and allocs/op measure the real Go execution of the level loop
-// (graph distribution excluded), while SimSeconds/SimTEPS come from the
-// calibrated Section 5 clock. Together they form the BENCH trajectory
-// the repository tracks across PRs.
+// (graph distribution excluded) under the library default direction
+// policy (auto), while SimSeconds/SimTEPS come from the calibrated
+// Section 5 clock. The Scanned* fields record the direction-optimizing
+// work savings against a top-down-only run of the same search: the
+// "midlevel" pair restricts the comparison to the iterations the auto
+// policy ran bottom-up (the dense middle levels). Together they form
+// the BENCH trajectory the repository tracks across PRs.
 type WallResult struct {
 	Config      string  `json:"config"`
 	Ranks       int     `json:"ranks"`
 	Threads     int     `json:"threads"`
+	Direction   string  `json:"direction"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	SimSeconds  float64 `json:"sim_seconds"`
 	SimTEPS     float64 `json:"sim_teps"`
+
+	ScannedTopDownOnly int64   `json:"scanned_edges_topdown_only"`
+	ScannedAuto        int64   `json:"scanned_edges_auto"`
+	ScannedAutoTD      int64   `json:"scanned_auto_topdown_phase"`
+	ScannedAutoBU      int64   `json:"scanned_auto_bottomup_phase"`
+	MidScannedTopDown  int64   `json:"midlevel_scanned_topdown_only"`
+	MidScannedAuto     int64   `json:"midlevel_scanned_auto"`
+	MidReduction       float64 `json:"midlevel_reduction"`
 }
 
 // WallReport is the machine-readable payload of BENCH_bfs.json.
@@ -39,10 +53,22 @@ type WallReport struct {
 	Results    []WallResult `json:"results"`
 }
 
+// levelProfile is one traced search's direction-relevant output.
+type levelProfile struct {
+	simTime       float64
+	traversed     int64
+	scannedTD     int64
+	scannedBU     int64
+	levelScanned  []int64
+	levelBottomUp []bool
+}
+
 // WallClock benchmarks the four BFS variants' level loops on one R-MAT
-// instance: real ns/op, bytes/op, and allocs/op via testing.Benchmark,
-// plus each configuration's simulated time and TEPS. The graph is
-// generated and distributed once per variant, outside the timed region.
+// instance: real ns/op, bytes/op, and allocs/op via testing.Benchmark
+// under the default direction policy, plus each configuration's
+// simulated time, TEPS, and the auto-vs-top-down scanned-edge record.
+// The graph is generated and distributed once per variant, outside the
+// timed region.
 func WallClock(scale, ef int, seed uint64) (*WallReport, error) {
 	el, err := rmatEdges(scale, ef, seed)
 	if err != nil {
@@ -73,7 +99,7 @@ func WallClock(scale, ef int, seed uint64) (*WallReport, error) {
 	} {
 		// Each branch builds a closure running one full search over its
 		// cross-run arena; the measurement protocol below is shared.
-		var run func() (simTime float64, traversed int64)
+		var run func(mode dirheur.Mode, trace bool) levelProfile
 		var closeArena func()
 		if cfg.twoD {
 			dg, err := bfs2d.Distribute(el, 4, 4, cfg.threads)
@@ -82,37 +108,70 @@ func WallClock(scale, ef int, seed uint64) (*WallReport, error) {
 			}
 			arena := &bfs2d.Arena{}
 			closeArena = arena.Close
-			opt := bfs2d.Options{Threads: cfg.threads, Price: machine, Arena: arena}
-			run = func() (float64, int64) {
+			run = func(mode dirheur.Mode, trace bool) levelProfile {
 				w := cluster.NewWorld(ranks, machine)
 				grid := cluster.NewGrid(w, 4, 4)
-				out := bfs2d.Run(w, grid, dg, src, opt)
-				return w.Stats().MaxClock, out.TraversedEdges
+				out := bfs2d.Run(w, grid, dg, src, bfs2d.Options{
+					Threads: cfg.threads, Price: machine, Arena: arena,
+					Direction: mode, Trace: trace,
+				})
+				return levelProfile{
+					simTime: w.Stats().MaxClock, traversed: out.TraversedEdges,
+					scannedTD: out.ScannedTopDown, scannedBU: out.ScannedBottomUp,
+					levelScanned: out.LevelScanned, levelBottomUp: out.LevelBottomUp,
+				}
 			}
 		} else {
 			dg, err := bfs1d.Distribute(el, ranks)
 			if err != nil {
 				return nil, err
 			}
-			opt := bfs1d.DefaultOptions()
-			opt.Threads = cfg.threads
-			opt.Price = machine
-			opt.Arena = &bfs1d.Arena{}
-			closeArena = opt.Arena.Close
-			run = func() (float64, int64) {
+			dg.Symmetric = true // undirected R-MAT instance
+			arena := &bfs1d.Arena{}
+			closeArena = arena.Close
+			run = func(mode dirheur.Mode, trace bool) levelProfile {
 				w := cluster.NewWorld(ranks, machine)
+				opt := bfs1d.DefaultOptions()
+				opt.Threads = cfg.threads
+				opt.Price = machine
+				opt.Arena = arena
+				opt.Direction = mode
+				opt.Trace = trace
 				out := bfs1d.Run(w, dg, src, opt)
-				return w.Stats().MaxClock, out.TraversedEdges
+				return levelProfile{
+					simTime: w.Stats().MaxClock, traversed: out.TraversedEdges,
+					scannedTD: out.ScannedTopDown, scannedBU: out.ScannedBottomUp,
+					levelScanned: out.LevelScanned, levelBottomUp: out.LevelBottomUp,
+				}
 			}
 		}
-		res := WallResult{Config: cfg.name, Ranks: ranks, Threads: cfg.threads}
-		simTime, traversed := run()
-		res.SimSeconds = simTime
-		res.SimTEPS = graph500.TEPS(graph500.UndirectedEdges(traversed), simTime)
+		res := WallResult{Config: cfg.name, Ranks: ranks, Threads: cfg.threads,
+			Direction: dirheur.ModeAuto.String()}
+		auto := run(dirheur.ModeAuto, true)
+		td := run(dirheur.ModeTopDown, true)
+		res.SimSeconds = auto.simTime
+		res.SimTEPS = graph500.TEPS(graph500.UndirectedEdges(auto.traversed), auto.simTime)
+		res.ScannedTopDownOnly = td.scannedTD
+		res.ScannedAutoTD = auto.scannedTD
+		res.ScannedAutoBU = auto.scannedBU
+		res.ScannedAuto = auto.scannedTD + auto.scannedBU
+		// Both runs traverse the same level structure, so their per-level
+		// scan profiles align; restrict the ratio to the iterations the
+		// auto policy ran bottom-up (the heavy middle levels).
+		for l, bu := range auto.levelBottomUp {
+			if !bu || l >= len(td.levelScanned) {
+				continue
+			}
+			res.MidScannedTopDown += td.levelScanned[l]
+			res.MidScannedAuto += auto.levelScanned[l]
+		}
+		if res.MidScannedAuto > 0 {
+			res.MidReduction = float64(res.MidScannedTopDown) / float64(res.MidScannedAuto)
+		}
 		fill(&res, testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				run()
+				run(dirheur.ModeAuto, false)
 			}
 		}))
 		closeArena()
@@ -138,11 +197,13 @@ func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\n=== Wall-clock BFS level loops (scale %d, ef %d) -> %s ===\n",
 		rep.Scale, rep.EdgeFactor, path)
-	fmt.Fprintf(w, "%-10s %6s %3s %14s %14s %12s %12s\n",
-		"config", "ranks", "t", "ns/op", "allocs/op", "sim-s", "sim-TEPS")
+	fmt.Fprintf(w, "%-10s %6s %3s %14s %14s %12s %12s %14s %14s %10s\n",
+		"config", "ranks", "t", "ns/op", "allocs/op", "sim-s", "sim-TEPS",
+		"scan-td-only", "scan-auto", "mid-reduc")
 	for _, r := range rep.Results {
-		fmt.Fprintf(w, "%-10s %6d %3d %14.0f %14.0f %12.3g %12.4g\n",
-			r.Config, r.Ranks, r.Threads, r.NsPerOp, r.AllocsPerOp, r.SimSeconds, r.SimTEPS)
+		fmt.Fprintf(w, "%-10s %6d %3d %14.0f %14.0f %12.3g %12.4g %14d %14d %9.1fx\n",
+			r.Config, r.Ranks, r.Threads, r.NsPerOp, r.AllocsPerOp, r.SimSeconds, r.SimTEPS,
+			r.ScannedTopDownOnly, r.ScannedAuto, r.MidReduction)
 	}
 	return nil
 }

@@ -3,9 +3,12 @@ package bfs1d
 import (
 	"repro/internal/bits"
 	"repro/internal/cluster"
+	"repro/internal/dirheur"
 	"repro/internal/scratch"
 	"repro/internal/serial"
 	"repro/internal/smp"
+	"repro/internal/spmat"
+	"repro/internal/spvec"
 )
 
 // Options configures a 1D BFS run.
@@ -32,8 +35,20 @@ type Options struct {
 	// Price charges local computation to the simulated clock; nil prices
 	// nothing (pure correctness mode).
 	Price cluster.Pricer
+	// Direction selects the per-level traversal policy. The zero value
+	// (dirheur.ModeTopDown) is the classic push-only level loop;
+	// dirheur.ModeAuto applies the Beamer alpha/beta heuristic and runs
+	// the dense middle levels bottom-up over the in-adjacency;
+	// dirheur.ModeBottomUp pulls every level. Bottom-up levels exchange
+	// the frontier as a dense bitmap (cluster.AllgatherBits) instead of
+	// the sparse all-to-all.
+	Direction dirheur.Mode
+	// Policy overrides the direction-switch thresholds; zero fields fall
+	// back to dirheur.DefaultPolicy.
+	Policy dirheur.Policy
 	// Trace records the per-level discovery profile into the output
-	// (costs nothing: it reuses the termination allreduce's totals).
+	// (costs nothing: it reuses the termination allreduce's totals), and
+	// with it the per-level scanned-edge and direction profiles.
 	Trace bool
 	// Arena, when non-nil, recycles every per-rank working buffer across
 	// consecutive Runs (the Graph 500 protocol performs 16-64 searches
@@ -51,8 +66,10 @@ type Arena struct {
 
 // rankArena is one rank's scratch: the distance/parent working arrays
 // (copied into the Output at assembly, so safely recycled), the frontier
-// double buffer, per-owner send buffers, the dedup bitmap, and the
-// hybrid variant's worker team and thread-local stacks.
+// double buffer, per-owner send buffers, the dedup bitmap, the hybrid
+// variant's worker team and thread-local stacks, and the bottom-up
+// phase's bitmaps (the global frontier, the rank's all-gather
+// contribution, and the owned-range visited set).
 type rankArena struct {
 	dist, parent []int64
 	fsBuf        [2][]int64
@@ -60,6 +77,10 @@ type rankArena struct {
 	dedup        *bits.Bitmap
 	pool         *smp.Pool
 	tstate       []threadScratch
+	front        *bits.Bitmap // global frontier, N bits
+	chunk        *bits.Bitmap // owned contribution to the next frontier, N bits
+	ownVis       *bits.Bitmap // visited flags over owned vertices, nloc bits
+	pullOut      spvec.Vec    // flat variant's bottom-up candidate vector
 }
 
 // team returns the rank's persistent worker pool at width t, recycling
@@ -97,6 +118,19 @@ type Output struct {
 	// discovered at each level (index 0 = level 1; the source itself is
 	// not counted).
 	LevelFrontier []int64
+	// ScannedTopDown and ScannedBottomUp count the adjacency entries
+	// actually examined by each traversal phase, summed over ranks: the
+	// work the direction-optimizing heuristic saves shows up as their
+	// sum dropping well below the top-down-only total (which equals
+	// TraversedEdges by construction).
+	ScannedTopDown  int64
+	ScannedBottomUp int64
+	// LevelScanned and LevelBottomUp, when tracing, hold the global
+	// scanned-edge count and the traversal direction of every executed
+	// iteration. They have one more entry than LevelFrontier: the final
+	// iteration scans edges but discovers nothing.
+	LevelScanned  []int64
+	LevelBottomUp []bool
 }
 
 // threadBarrierOps approximates the instruction cost of one intra-node
@@ -105,12 +139,15 @@ type Output struct {
 const threadBarrierOps = 4000
 
 // threadScratch is one worker's thread-local buffers: per-owner send
-// stacks and local-discovery candidates, plus the volume counters that
-// feed the performance model. Workers fill their scratch in parallel with
-// no shared mutable state; the serial merge drains them in thread order.
+// stacks and local-discovery candidates for the push phase, the pull
+// kernel's candidate vector for the bottom-up phase, plus the volume
+// counters that feed the performance model. Workers fill their scratch
+// in parallel with no shared mutable state; the serial merge drains them
+// in thread order.
 type threadScratch struct {
 	send      [][]int64 // per-owner (target, parent) pair stacks
 	local     []int64   // (local index, parent) candidate pairs
+	pullOut   spvec.Vec // bottom-up (chunk-local row, parent) candidates
 	adjWords  int64
 	localHits int64
 }
@@ -132,11 +169,25 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 	p := pt.P
 	world := w.WorldGroup()
 
+	// The bottom-up phase pulls over the in-adjacency; built lazily, and
+	// identical in content to the push CSR for symmetrized inputs.
+	var ins []*LocalGraph
+	if opt.Direction != dirheur.ModeTopDown {
+		ins = g.Ins()
+	}
+
 	distLoc := make([][]int64, p)
 	parentLoc := make([][]int64, p)
 	levelsPer := make([]int64, p)
 	edgesPer := make([]int64, p)
+	scannedTD := make([]int64, p)
+	scannedBU := make([]int64, p)
 	var trace []int64
+	var levelDir []bool
+	var levelScan [][]int64
+	if opt.Trace {
+		levelScan = make([][]int64, p)
+	}
 
 	arena := opt.Arena
 	if arena == nil {
@@ -203,169 +254,318 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 			tstate = ar.tstate
 		}
 
-		var level int64 = 1
-		for {
-			// ---- Frontier expansion into per-owner buffers ----
-			for j := range send {
-				send[j] = send[j][:0]
+		mode := opt.Direction
+		dirm := dirheur.New(mode, opt.Policy, pt.N, g.TotalAdj)
+		bitmapWords := (pt.N + 63) / 64
+		var front, chunk, ownVis *bits.Bitmap
+		var inPull *spmat.PullCSR
+		// enterBottomUp converts the rank to pull state at a level
+		// boundary: visited flags rebuilt from the distance array, the
+		// newly discovered frontier densified into the chunk bitmap, and
+		// one bitmap exchange to give every rank the global frontier.
+		// Every rank takes the decision from the same global statistics,
+		// so the collective schedules stay aligned.
+		enterBottomUp := func(newFront []int64) {
+			front = bits.Grown(ar.front, pt.N)
+			chunk = bits.Grown(ar.chunk, pt.N)
+			ownVis = bits.Grown(ar.ownVis, nloc)
+			ar.front, ar.chunk, ar.ownVis = front, chunk, ownVis
+			lgIn := ins[me]
+			inPull = spmat.NewPullCSR(nloc, pt.N, lgIn.XAdj, lgIn.Adj)
+			for i := int64(0); i < nloc; i++ {
+				if dist[i] != serial.Unreached {
+					ownVis.Set(i)
+				}
 			}
-			var adjWords int64  // adjacency stream volume
-			var localHits int64 // targets handled via the local shortcut
-			curBuf = 1 - curBuf
-			ns := ar.fsBuf[curBuf][:0] // next frontier (double buffer)
-			if t > 1 {
-				// Hybrid expansion (Algorithm 2 lines 10-16): each worker
-				// scans a contiguous chunk of the frontier into its
-				// thread-local stacks, reading but never writing the
-				// distance array.
-				chunk := (len(fs) + t - 1) / t
-				cur := fs
-				pool.Do(t, func(th int) {
-					ts := &tstate[th]
-					for o := range ts.send {
-						ts.send[o] = ts.send[o][:0]
-					}
-					ts.local = ts.local[:0]
-					ts.adjWords, ts.localHits = 0, 0
-					lo := th * chunk
-					hi := lo + chunk
-					if lo > len(cur) {
-						lo = len(cur)
-					}
-					if hi > len(cur) {
-						hi = len(cur)
-					}
-					for _, ul := range cur[lo:hi] {
-						ug := start + ul
-						for _, v := range lg.Neighbors(ul) {
-							ts.adjWords++
-							o := pt.Owner(v)
-							if opt.LocalShortcut && o == me {
-								ts.localHits++
-								vl := v - start
-								// Read-only filter against the pre-level
-								// state; the serial merge re-checks.
-								if dist[vl] == serial.Unreached {
-									ts.local = append(ts.local, vl, ug)
-								}
-								continue
-							}
-							ts.send[o] = append(ts.send[o], v, ug)
-						}
-					}
-				})
-				// Serial merge of the thread-local stacks (line 19).
-				// Chunks are contiguous and drained in thread order, so
-				// claims and the dedup filter see discoveries in exactly
-				// the flat algorithm's frontier order: outputs are
-				// bit-identical to Threads=1.
-				for th := range tstate {
-					ts := &tstate[th]
-					adjWords += ts.adjWords
-					localHits += ts.localHits
-					for k := 0; k+1 < len(ts.local); k += 2 {
-						vl, ug := ts.local[k], ts.local[k+1]
-						if dist[vl] == serial.Unreached {
-							dist[vl] = level
-							parent[vl] = ug
-							ns = append(ns, vl)
-						}
-					}
-					for o := range ts.send {
-						for k := 0; k+1 < len(ts.send[o]); k += 2 {
-							v := ts.send[o][k]
-							if dedup != nil && !dedup.TestAndSet(v) {
-								continue
-							}
-							send[o] = append(send[o], v, ts.send[o][k+1])
-						}
+			for _, vl := range newFront {
+				chunk.Set(start + vl)
+			}
+			front.CopyFrom(world.AllgatherBits(r, chunk.Words(), "bitmap"))
+			r.ChargeMem(price, 0, 0, nloc+int64(len(newFront))+3*bitmapWords, 0)
+		}
+		cur := dirm.Direction()
+		if cur == dirheur.BottomUp {
+			enterBottomUp(fs)
+		}
+
+		var level int64 = 1
+		var ns []int64
+		for {
+			var totalNew, mfLocal, levScan int64
+			if cur == dirheur.BottomUp {
+				// ---- Bottom-up pull level ----
+				// Each unvisited owned vertex scans its in-adjacency
+				// against the global frontier bitmap and adopts the first
+				// frontier parent (early exit). The hybrid variant pulls
+				// one aligned chunk of the owned range per worker into
+				// thread-local candidate vectors; the serial apply then
+				// commits them in chunk order, so outputs are identical
+				// to the flat scan.
+				chunk.Reset()
+				var scanned, newCount int64
+				apply := func(lo int64, cand *spvec.Vec) {
+					for k, rl := range cand.Ind {
+						vl := lo + rl
+						dist[vl] = level
+						parent[vl] = cand.Val[k]
+						ownVis.Set(vl)
+						chunk.Set(start + vl)
+						mfLocal += lg.XAdj[vl+1] - lg.XAdj[vl]
+						newCount++
 					}
 				}
+				if t > 1 {
+					chunkSz := (nloc + int64(t) - 1) / int64(t)
+					pool.Do(t, func(th int) {
+						ts := &tstate[th]
+						lo := int64(th) * chunkSz
+						hi := lo + chunkSz
+						if lo > nloc {
+							lo = nloc
+						}
+						if hi > nloc {
+							hi = nloc
+						}
+						ts.adjWords = inPull.SubRows(lo, hi).Pull(&ts.pullOut, front, ownVis, lo, 0)
+					})
+					for th := range tstate {
+						ts := &tstate[th]
+						scanned += ts.adjWords
+						lo := int64(th) * chunkSz
+						if lo > nloc {
+							lo = nloc
+						}
+						apply(lo, &ts.pullOut)
+					}
+				} else {
+					scanned = inPull.Pull(&ar.pullOut, front, ownVis, 0, 0)
+					apply(0, &ar.pullOut)
+				}
+				scannedBU[me] += scanned
+				levScan = scanned
+				// Charge the pull: one random frontier-bitmap probe per
+				// scanned entry, the adjacency and visited-flag streams,
+				// plus the hybrid variant's serial apply and barriers.
+				if price != nil {
+					par := price.MemCost(scanned, bitmapWords, scanned+nloc, scanned)
+					serialOverhead := 0.0
+					if t > 1 {
+						serialOverhead = price.MemCost(0, 0, 2*newCount, 3*threadBarrierOps)
+					}
+					r.Charge(par/float64(t) + serialOverhead)
+				}
+
+				// ---- Dense frontier exchange (bitmap allgather) ----
+				// Replaces the sparse all-to-all: the new frontier moves
+				// as one N-bit bitmap, and termination needs no extra
+				// allreduce — every rank counts the same combined bitmap.
+				front.CopyFrom(world.AllgatherBits(r, chunk.Words(), "bitmap"))
+				totalNew = front.Count()
+				r.ChargeMem(price, 0, 0, 3*bitmapWords, 0)
 			} else {
-				for _, ul := range fs {
-					ug := start + ul
-					for _, v := range lg.Neighbors(ul) {
-						adjWords++
-						o := pt.Owner(v)
-						if opt.LocalShortcut && o == me {
-							vl := v - start
-							localHits++
+				// ---- Top-down frontier expansion into per-owner buffers ----
+				for j := range send {
+					send[j] = send[j][:0]
+				}
+				var adjWords int64  // adjacency stream volume
+				var localHits int64 // targets handled via the local shortcut
+				curBuf = 1 - curBuf
+				ns = ar.fsBuf[curBuf][:0] // next frontier (double buffer)
+				if t > 1 {
+					// Hybrid expansion (Algorithm 2 lines 10-16): each worker
+					// scans a contiguous chunk of the frontier into its
+					// thread-local stacks, reading but never writing the
+					// distance array.
+					chunkSz := (len(fs) + t - 1) / t
+					curFS := fs
+					pool.Do(t, func(th int) {
+						ts := &tstate[th]
+						for o := range ts.send {
+							ts.send[o] = ts.send[o][:0]
+						}
+						ts.local = ts.local[:0]
+						ts.adjWords, ts.localHits = 0, 0
+						lo := th * chunkSz
+						hi := lo + chunkSz
+						if lo > len(curFS) {
+							lo = len(curFS)
+						}
+						if hi > len(curFS) {
+							hi = len(curFS)
+						}
+						for _, ul := range curFS[lo:hi] {
+							ug := start + ul
+							for _, v := range lg.Neighbors(ul) {
+								ts.adjWords++
+								o := pt.Owner(v)
+								if opt.LocalShortcut && o == me {
+									ts.localHits++
+									vl := v - start
+									// Read-only filter against the pre-level
+									// state; the serial merge re-checks.
+									if dist[vl] == serial.Unreached {
+										ts.local = append(ts.local, vl, ug)
+									}
+									continue
+								}
+								ts.send[o] = append(ts.send[o], v, ug)
+							}
+						}
+					})
+					// Serial merge of the thread-local stacks (line 19).
+					// Chunks are contiguous and drained in thread order, so
+					// claims and the dedup filter see discoveries in exactly
+					// the flat algorithm's frontier order: outputs are
+					// bit-identical to Threads=1.
+					for th := range tstate {
+						ts := &tstate[th]
+						adjWords += ts.adjWords
+						localHits += ts.localHits
+						for k := 0; k+1 < len(ts.local); k += 2 {
+							vl, ug := ts.local[k], ts.local[k+1]
 							if dist[vl] == serial.Unreached {
 								dist[vl] = level
 								parent[vl] = ug
 								ns = append(ns, vl)
 							}
-							continue
 						}
-						if dedup != nil && !dedup.TestAndSet(v) {
-							continue
+						for o := range ts.send {
+							for k := 0; k+1 < len(ts.send[o]); k += 2 {
+								v := ts.send[o][k]
+								if dedup != nil && !dedup.TestAndSet(v) {
+									continue
+								}
+								send[o] = append(send[o], v, ts.send[o][k+1])
+							}
 						}
-						send[o] = append(send[o], v, ug)
+					}
+				} else {
+					for _, ul := range fs {
+						ug := start + ul
+						for _, v := range lg.Neighbors(ul) {
+							adjWords++
+							o := pt.Owner(v)
+							if opt.LocalShortcut && o == me {
+								vl := v - start
+								localHits++
+								if dist[vl] == serial.Unreached {
+									dist[vl] = level
+									parent[vl] = ug
+									ns = append(ns, vl)
+								}
+								continue
+							}
+							if dedup != nil && !dedup.TestAndSet(v) {
+								continue
+							}
+							send[o] = append(send[o], v, ug)
+						}
 					}
 				}
-			}
-			var sendWords int64
-			for j := range send {
-				sendWords += int64(len(send[j]))
-			}
-			if dedup != nil {
-				// Clear only the bits this level set: one sweep over the
-				// deduped send volume, no reallocation.
+				var sendWords int64
 				for j := range send {
-					for k := 0; k < len(send[j]); k += 2 {
-						dedup.Clear(send[j][k])
+					sendWords += int64(len(send[j]))
+				}
+				if dedup != nil {
+					// Clear only the bits this level set: one sweep over the
+					// deduped send volume, no reallocation.
+					for j := range send {
+						for k := 0; k < len(send[j]); k += 2 {
+							dedup.Clear(send[j][k])
+						}
+					}
+				}
+				// Charge the expansion: one XAdj probe per frontier vertex,
+				// adjacency + buffer writes streamed, one owner computation
+				// per edge, one distance probe per shortcut target. The
+				// hybrid variant additionally merges thread-local buffers
+				// (one more streaming pass over the send volume, itself
+				// thread-parallel per Algorithm 2 line 19) and pays the three
+				// per-level thread barriers serially.
+				if price != nil {
+					par := price.MemCost(int64(len(fs))+localHits, nloc, adjWords+sendWords, adjWords)
+					serialOverhead := 0.0
+					if t > 1 {
+						par += price.MemCost(0, 0, sendWords, 0)
+						serialOverhead = price.MemCost(0, 0, 0, 3*threadBarrierOps)
+					}
+					r.Charge(par/float64(t) + serialOverhead)
+				}
+
+				// ---- All-to-all exchange (Algorithm 2 line 21) ----
+				recv := world.Alltoallv(r, send, "a2a")
+
+				// ---- Integrate received discoveries ----
+				var recvWords int64
+				for _, part := range recv {
+					recvWords += int64(len(part))
+					for k := 0; k+1 < len(part); k += 2 {
+						v, pu := part[k], part[k+1]
+						vl := v - start
+						if dist[vl] == serial.Unreached {
+							dist[vl] = level
+							parent[vl] = pu
+							ns = append(ns, vl)
+						}
+					}
+				}
+				// Unpacking is data-parallel across threads (Section 3.1).
+				if price != nil {
+					r.Charge(price.MemCost(recvWords/2, nloc, recvWords, 0) / float64(t))
+				}
+				ar.fsBuf[curBuf] = ns
+				scannedTD[me] += adjWords
+				levScan = adjWords
+				// The heuristic needs the new frontier's out-edge volume.
+				if mode == dirheur.ModeAuto {
+					for _, vl := range ns {
+						mfLocal += lg.XAdj[vl+1] - lg.XAdj[vl]
+					}
+					r.ChargeMem(price, int64(len(ns)), nloc, 0, 0)
+				}
+
+				// ---- Level termination test ----
+				totalNew = world.AllreduceSum(r, int64(len(ns)), "allreduce")
+			}
+			if opt.Trace {
+				levelScan[me] = append(levelScan[me], levScan)
+				if me == 0 {
+					levelDir = append(levelDir, cur == dirheur.BottomUp)
+					if totalNew > 0 {
+						trace = append(trace, totalNew)
 					}
 				}
 			}
-			// Charge the expansion: one XAdj probe per frontier vertex,
-			// adjacency + buffer writes streamed, one owner computation
-			// per edge, one distance probe per shortcut target. The
-			// hybrid variant additionally merges thread-local buffers
-			// (one more streaming pass over the send volume, itself
-			// thread-parallel per Algorithm 2 line 19) and pays the three
-			// per-level thread barriers serially.
-			if price != nil {
-				par := price.MemCost(int64(len(fs))+localHits, nloc, adjWords+sendWords, adjWords)
-				serialOverhead := 0.0
-				if t > 1 {
-					par += price.MemCost(0, 0, sendWords, 0)
-					serialOverhead = price.MemCost(0, 0, 0, 3*threadBarrierOps)
-				}
-				r.Charge(par/float64(t) + serialOverhead)
-			}
-
-			// ---- All-to-all exchange (Algorithm 2 line 21) ----
-			recv := world.Alltoallv(r, send, "a2a")
-
-			// ---- Integrate received discoveries ----
-			var recvWords int64
-			for _, part := range recv {
-				recvWords += int64(len(part))
-				for k := 0; k+1 < len(part); k += 2 {
-					v, pu := part[k], part[k+1]
-					vl := v - start
-					if dist[vl] == serial.Unreached {
-						dist[vl] = level
-						parent[vl] = pu
-						ns = append(ns, vl)
-					}
-				}
-			}
-			// Unpacking is data-parallel across threads (Section 3.1).
-			if price != nil {
-				r.Charge(price.MemCost(recvWords/2, nloc, recvWords, 0) / float64(t))
-			}
-
-			// ---- Level termination test ----
-			total := world.AllreduceSum(r, int64(len(ns)), "allreduce")
-			if opt.Trace && me == 0 && total > 0 {
-				trace = append(trace, total)
-			}
-			if total == 0 {
+			if totalNew == 0 {
 				break
 			}
-			ar.fsBuf[curBuf] = ns
-			fs = ns
+
+			// ---- Direction decision for the next level ----
+			next := cur
+			if mode == dirheur.ModeAuto {
+				mf := world.AllreduceSum(r, mfLocal, "allreduce")
+				next = dirm.Advance(totalNew, mf)
+			}
+			if next != cur {
+				if next == dirheur.BottomUp {
+					enterBottomUp(ns)
+				} else {
+					// Re-sparsify: collect this level's discoveries into
+					// the frontier list; purely local.
+					curBuf = 1 - curBuf
+					fs = ar.fsBuf[curBuf][:0]
+					for i := int64(0); i < nloc; i++ {
+						if dist[i] == level {
+							fs = append(fs, i)
+						}
+					}
+					ar.fsBuf[curBuf] = fs
+					r.ChargeMem(price, 0, 0, nloc, 0)
+				}
+				cur = next
+			} else if cur == dirheur.TopDown {
+				fs = ns
+			}
 			level++
 		}
 
@@ -384,13 +584,23 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 		edgesPer[me] = traversed
 	})
 
-	out := &Output{Source: source, Levels: levelsPer[0], LevelFrontier: trace}
+	out := &Output{Source: source, Levels: levelsPer[0], LevelFrontier: trace, LevelBottomUp: levelDir}
 	out.Dist = make([]int64, 0, pt.N)
 	out.Parent = make([]int64, 0, pt.N)
 	for i := 0; i < p; i++ {
 		out.Dist = append(out.Dist, distLoc[i]...)
 		out.Parent = append(out.Parent, parentLoc[i]...)
 		out.TraversedEdges += edgesPer[i]
+		out.ScannedTopDown += scannedTD[i]
+		out.ScannedBottomUp += scannedBU[i]
+	}
+	if opt.Trace && len(levelScan) > 0 {
+		out.LevelScanned = make([]int64, len(levelScan[0]))
+		for i := range levelScan {
+			for l, s := range levelScan[i] {
+				out.LevelScanned[l] += s
+			}
+		}
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package bfs1d
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -24,6 +25,21 @@ func (lg *LocalGraph) NumEdges() int64 { return int64(len(lg.Adj)) }
 type Graph struct {
 	Part   Part1D
 	Locals []*LocalGraph
+	// TotalAdj is the total number of stored adjacency slots across all
+	// ranks, the m̂ the direction-switching heuristic measures unexplored
+	// work against.
+	TotalAdj int64
+	// Symmetric declares that the edge list held both directions of
+	// every edge (a symmetrized/undirected graph), letting Ins alias the
+	// push CSRs instead of building an O(m) transpose. Set it before the
+	// first non-top-down Run; Distribute cannot infer it.
+	Symmetric bool
+
+	// el is retained so the in-adjacency (the bottom-up phase's pull
+	// structure) can be built lazily on first use.
+	el     *graph.EdgeList
+	inOnce sync.Once
+	ins    []*LocalGraph
 }
 
 // Distribute partitions an edge list among p ranks by edge source owner.
@@ -39,11 +55,29 @@ func Distribute(el *graph.EdgeList, p int) (*Graph, error) {
 			return nil, fmt.Errorf("bfs1d: edge (%d,%d) out of range", e.U, e.V)
 		}
 	}
-	g := &Graph{Part: pt, Locals: make([]*LocalGraph, p)}
+	g := &Graph{Part: pt, Locals: buildLocals(el, pt, false), el: el}
+	for _, lg := range g.Locals {
+		g.TotalAdj += lg.NumEdges()
+	}
+	return g, nil
+}
 
-	// Bucket edges by owner, then build each local CSR.
+// buildLocals constructs each rank's local CSR. With transpose false the
+// CSR stores out-edges of owned vertices (the top-down push structure);
+// with transpose true it stores in-edges (the bottom-up pull structure):
+// row v of rank Owner(v) holds the sources u of edges u -> v. For a
+// symmetrized edge list the two are identical by construction.
+func buildLocals(el *graph.EdgeList, pt Part1D, transpose bool) []*LocalGraph {
+	p := pt.P
+	locals := make([]*LocalGraph, p)
+
+	// Bucket edges by owner, then build each local CSR. Self-loops are
+	// dropped and duplicate adjacencies collapsed in both orientations.
 	buckets := make([][]graph.Edge, p)
 	for _, e := range el.Edges {
+		if transpose {
+			e = graph.Edge{U: e.V, V: e.U}
+		}
 		o := pt.Owner(e.U)
 		buckets[o] = append(buckets[o], e)
 	}
@@ -73,9 +107,25 @@ func Distribute(el *graph.EdgeList, p int) (*Graph, error) {
 		for i := int64(0); i < nloc; i++ {
 			lg.XAdj[i+1] += lg.XAdj[i]
 		}
-		g.Locals[rank] = lg
+		locals[rank] = lg
 	}
-	return g, nil
+	return locals
+}
+
+// Ins returns the per-rank in-adjacency CSRs used by the bottom-up
+// phase, building them on first call (outside any timed region: like
+// Distribute itself, the pull structure is static per graph). For a
+// Symmetric graph the in-adjacency is the push CSR itself and no copy
+// is made. Safe for concurrent callers.
+func (g *Graph) Ins() []*LocalGraph {
+	g.inOnce.Do(func() {
+		if g.Symmetric {
+			g.ins = g.Locals
+			return
+		}
+		g.ins = buildLocals(g.el, g.Part, true)
+	})
+	return g.ins
 }
 
 // Neighbors returns the global adjacency ids of local vertex u on the

@@ -1,7 +1,9 @@
 package bfs2d
 
 import (
+	"repro/internal/bits"
 	"repro/internal/cluster"
+	"repro/internal/dirheur"
 	"repro/internal/scratch"
 	"repro/internal/serial"
 	"repro/internal/smp"
@@ -32,10 +34,22 @@ type Options struct {
 	Kernel spmat.Kernel
 	// Vector selects the vector distribution.
 	Vector VectorDist
+	// Direction selects the per-level traversal policy. The zero value
+	// (dirheur.ModeTopDown) is the classic SpMSV push loop;
+	// dirheur.ModeAuto applies the Beamer alpha/beta heuristic and runs
+	// the dense middle levels bottom-up (pull over the blocks' row-major
+	// views, dense bitmap frontier exchange instead of transpose+expand);
+	// dirheur.ModeBottomUp pulls every level. Only Dist2D vectors
+	// support non-top-down directions.
+	Direction dirheur.Mode
+	// Policy overrides the direction-switch thresholds; zero fields fall
+	// back to dirheur.DefaultPolicy.
+	Policy dirheur.Policy
 	// Price charges local computation to the simulated clock.
 	Price cluster.Pricer
 	// Trace records the per-level discovery profile into the output
-	// (costs nothing: it reuses the termination allreduce's totals).
+	// (costs nothing: it reuses the termination allreduce's totals), and
+	// with it the per-level scanned-edge and direction profiles.
 	Trace bool
 	// Arena, when non-nil, recycles every per-rank working buffer across
 	// consecutive Runs (the Graph 500 protocol performs 16-64 searches
@@ -64,6 +78,10 @@ type rankArena struct {
 	rowScratch            spmat.RowScratch
 	mergeScratch          spvec.MergeScratch
 	pool                  *smp.Pool
+	// Bottom-up state: the global frontier and visited bitmaps, the
+	// rank's all-gather contribution, and the strip pull scratch.
+	front, chunk, vis *bits.Bitmap
+	pullScratch       spmat.PullScratch
 }
 
 // team returns the rank's persistent worker pool at width t, recycling
@@ -97,6 +115,16 @@ type Output struct {
 	// LevelFrontier, when tracing, holds the number of vertices
 	// discovered at each level.
 	LevelFrontier []int64
+	// ScannedTopDown and ScannedBottomUp count the matrix entries
+	// actually examined by each traversal phase, summed over ranks.
+	ScannedTopDown  int64
+	ScannedBottomUp int64
+	// LevelScanned and LevelBottomUp, when tracing, hold the global
+	// scanned-edge count and direction of every executed iteration (one
+	// more entry than LevelFrontier: the final iteration scans but
+	// discovers nothing).
+	LevelScanned  []int64
+	LevelBottomUp []bool
 }
 
 const threadBarrierOps = 4000
@@ -120,6 +148,11 @@ func Run(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Optio
 	case Dist2D:
 		return run2DVector(w, grid, g, source, opt)
 	case DistDiag:
+		if opt.Direction != dirheur.ModeTopDown {
+			// The diagonal layout exists to reproduce the Figure 4
+			// imbalance experiment; it has no pull path.
+			panic("bfs2d: diagonal vector distribution is top-down only")
+		}
 		return runDiagVector(w, grid, g, source, opt)
 	}
 	panic("bfs2d: unknown vector distribution")
@@ -136,7 +169,23 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 	distLoc := make([][]int64, p)
 	parentLoc := make([][]int64, p)
 	levelsPer := make([]int64, p)
+	scannedTD := make([]int64, p)
+	scannedBU := make([]int64, p)
 	var trace []int64
+	var levelDir []bool
+	var levelScan [][]int64
+	if opt.Trace {
+		levelScan = make([][]int64, p)
+	}
+
+	// The bottom-up phase pulls over the blocks' row-major views and
+	// measures unexplored work against the total stored nonzeros.
+	var pulls [][]*spmat.PullSplit
+	var totalAdj int64
+	if opt.Direction != dirheur.ModeTopDown {
+		pulls = g.Pulls()
+		totalAdj = g.NNZ()
+	}
 
 	arena := opt.Arena
 	if arena == nil {
@@ -200,43 +249,107 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			ar.send = make([][]int64, grid.Pc)
 		}
 		send := ar.send
-		var level int64 = 1
-		for {
-			// ---- TransposeVector (Algorithm 3 line 5) ----
-			// My piece (block i, piece j) moves to P(j,i), so process
-			// column i collectively receives vector block i.
-			transposed := grid.All.SendRecvAll(r, grid.TransposePeer, frontier, "transpose")
 
-			// ---- Expand: Allgatherv along the process column (line 6) ----
-			parts := colG.Allgatherv(r, transposed, "expand")
-			localF.Reset()
-			var gathered int64
-			for _, part := range parts {
-				gathered += int64(len(part))
-				for _, gv := range part {
-					// Frontier values are the vertices' own ids: the
-					// semiring multiply then delivers the correct parent.
-					localF.Append(gv-colLo, gv)
+		mode := opt.Direction
+		dirm := dirheur.New(mode, opt.Policy, pt.N, totalAdj)
+		bitmapWords := (pt.N + 63) / 64
+		var front, chunkBM, vis *bits.Bitmap
+		// enterBottomUp converts the rank to pull state at a level
+		// boundary: the owned slices of the visited set and the current
+		// frontier are densified into bitmaps, and two bitmap exchanges
+		// give every rank the global views. (Unlike the 1D driver, the
+		// visited set must be global here: a rank scans every row of its
+		// block, most of which are owned by other ranks in its process
+		// row.) All ranks decide from the same global statistics, so the
+		// collective schedules stay aligned.
+		enterBottomUp := func() {
+			front = bits.Grown(ar.front, pt.N)
+			chunkBM = bits.Grown(ar.chunk, pt.N)
+			vis = bits.Grown(ar.vis, pt.N)
+			ar.front, ar.chunk, ar.vis = front, chunkBM, vis
+			for k := range dist {
+				if dist[k] != serial.Unreached {
+					chunkBM.Set(vLo + int64(k))
 				}
 			}
-			r.ChargeMem(price, 0, 0, 2*gathered, gathered)
+			vis.CopyFrom(world.AllgatherBits(r, chunkBM.Words(), "bitmap"))
+			chunkBM.Reset()
+			for _, gv := range frontier {
+				chunkBM.Set(gv)
+			}
+			front.CopyFrom(world.AllgatherBits(r, chunkBM.Words(), "bitmap"))
+			r.ChargeMem(price, 0, 0, nOwn+int64(len(frontier))+6*bitmapWords, 0)
+		}
+		cur := dirm.Direction()
+		if cur == dirheur.BottomUp {
+			enterBottomUp()
+		}
 
-			// ---- Local SpMSV (line 7) ----
-			work := block.Work(localF)
-			block.SpMSV(spOut, localF, spMSVOpts, pool, &ar.rowScratch)
-			if price != nil {
-				stripWS := (rowHi - rowLo) / int64(t)
-				par := price.MemCost(work, stripWS, work+int64(spOut.NNZ()), work)
-				serialOverhead := 0.0
-				if t > 1 {
-					serialOverhead = price.MemCost(0, 0, int64(spOut.NNZ()), threadBarrierOps)
+		var level int64 = 1
+		for {
+			var totalNew, mfLocal, levScan int64
+			if cur == dirheur.BottomUp {
+				// ---- Bottom-up pull (replaces lines 5-7) ----
+				// No transpose, no expand: every rank already holds the
+				// global frontier bitmap. Each strip scans its block's
+				// unvisited rows and emits at most one parent candidate
+				// per row (early exit at the first frontier in-edge).
+				chunkBM.Reset()
+				scanned := pulls[i][j].Pull(spOut, front, vis, rowLo, colLo, pool, &ar.pullScratch)
+				scannedBU[me] += scanned
+				levScan = scanned
+				// Charge the pull: one random frontier-bitmap probe per
+				// scanned entry, the adjacency stream, one visited probe
+				// per block row, plus the hybrid concatenation barrier.
+				if price != nil {
+					par := price.MemCost(scanned+(rowHi-rowLo), bitmapWords, scanned, scanned)
+					serialOverhead := 0.0
+					if t > 1 {
+						serialOverhead = price.MemCost(0, 0, int64(spOut.NNZ()), threadBarrierOps)
+					}
+					r.Charge(par/float64(t) + serialOverhead)
 				}
-				r.Charge(par/float64(t) + serialOverhead)
+			} else {
+				// ---- TransposeVector (Algorithm 3 line 5) ----
+				// My piece (block i, piece j) moves to P(j,i), so process
+				// column i collectively receives vector block i.
+				transposed := grid.All.SendRecvAll(r, grid.TransposePeer, frontier, "transpose")
+
+				// ---- Expand: Allgatherv along the process column (line 6) ----
+				parts := colG.Allgatherv(r, transposed, "expand")
+				localF.Reset()
+				var gathered int64
+				for _, part := range parts {
+					gathered += int64(len(part))
+					for _, gv := range part {
+						// Frontier values are the vertices' own ids: the
+						// semiring multiply then delivers the correct parent.
+						localF.Append(gv-colLo, gv)
+					}
+				}
+				r.ChargeMem(price, 0, 0, 2*gathered, gathered)
+
+				// ---- Local SpMSV (line 7) ----
+				work := block.Work(localF)
+				block.SpMSV(spOut, localF, spMSVOpts, pool, &ar.rowScratch)
+				scannedTD[me] += work
+				levScan = work
+				if price != nil {
+					stripWS := (rowHi - rowLo) / int64(t)
+					par := price.MemCost(work, stripWS, work+int64(spOut.NNZ()), work)
+					serialOverhead := 0.0
+					if t > 1 {
+						serialOverhead = price.MemCost(0, 0, int64(spOut.NNZ()), threadBarrierOps)
+					}
+					r.Charge(par/float64(t) + serialOverhead)
+				}
 			}
 
 			// ---- Fold: Alltoallv along the process row (line 8) ----
 			// Send buffers are reused each level: receivers finish reading
-			// them before their allreduce, which precedes the next fold.
+			// them before their allreduce (or bitmap exchange), which
+			// precedes the next fold. Both directions produce candidates
+			// over block rows in spOut, so the fold is shared.
 			for k := range send {
 				send[k] = send[k][:0]
 			}
@@ -279,14 +392,55 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			}
 			ar.frontBuf[curBuf] = frontier
 			r.ChargeMem(price, int64(merged.NNZ()), nOwn, int64(merged.NNZ()), 0)
+			// The heuristic needs the new frontier's out-edge volume.
+			if mode == dirheur.ModeAuto {
+				for _, gv := range frontier {
+					mfLocal += g.ColDegree[gv]
+				}
+				r.ChargeMem(price, int64(len(frontier)), nOwn, 0, 0)
+			}
 
 			// ---- Termination (implicit in line 4) ----
-			total := world.AllreduceSum(r, int64(len(frontier)), "allreduce")
-			if opt.Trace && me == 0 && total > 0 {
-				trace = append(trace, total)
+			if cur == dirheur.BottomUp {
+				// Dense frontier exchange: the new frontier moves as one
+				// N-bit bitmap, every rank folds it into its visited set,
+				// and termination needs no extra allreduce — all ranks
+				// count the same combined bitmap.
+				for _, gv := range frontier {
+					chunkBM.Set(gv)
+				}
+				front.CopyFrom(world.AllgatherBits(r, chunkBM.Words(), "bitmap"))
+				vis.Or(front.Words())
+				totalNew = front.Count()
+				r.ChargeMem(price, 0, 0, int64(len(frontier))+4*bitmapWords, 0)
+			} else {
+				totalNew = world.AllreduceSum(r, int64(len(frontier)), "allreduce")
 			}
-			if total == 0 {
+			if opt.Trace {
+				levelScan[me] = append(levelScan[me], levScan)
+				if me == 0 {
+					levelDir = append(levelDir, cur == dirheur.BottomUp)
+					if totalNew > 0 {
+						trace = append(trace, totalNew)
+					}
+				}
+			}
+			if totalNew == 0 {
 				break
+			}
+
+			// ---- Direction decision for the next level ----
+			if mode == dirheur.ModeAuto {
+				mf := world.AllreduceSum(r, mfLocal, "allreduce")
+				if next := dirm.Advance(totalNew, mf); next != cur {
+					if next == dirheur.BottomUp {
+						enterBottomUp()
+					}
+					// Bottom-up -> top-down needs no conversion: the
+					// sparse owned frontier list is maintained in both
+					// directions.
+					cur = next
+				}
 			}
 			level++
 		}
@@ -299,6 +453,19 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 
 	out := assemble(pt, grid, g, source, distLoc, parentLoc, levelsPer[0])
 	out.LevelFrontier = trace
+	out.LevelBottomUp = levelDir
+	for id := 0; id < p; id++ {
+		out.ScannedTopDown += scannedTD[id]
+		out.ScannedBottomUp += scannedBU[id]
+	}
+	if opt.Trace && len(levelScan) > 0 {
+		out.LevelScanned = make([]int64, len(levelScan[0]))
+		for id := range levelScan {
+			for l, s := range levelScan[id] {
+				out.LevelScanned[l] += s
+			}
+		}
+	}
 	return out
 }
 

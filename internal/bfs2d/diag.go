@@ -28,6 +28,7 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 	distLoc := make([][]int64, p)
 	parentLoc := make([][]int64, p)
 	levelsPer := make([]int64, p)
+	scannedTD := make([]int64, p)
 
 	arena := opt.Arena
 	if arena == nil {
@@ -101,6 +102,7 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 			// ---- Local SpMSV ----
 			work := block.Work(localF)
 			block.SpMSV(spOut, localF, spMSVOpts, pool, &ar.rowScratch)
+			scannedTD[me] += work
 			if price != nil {
 				stripWS := (rowHi - rowLo) / int64(t)
 				r.Charge(price.MemCost(work, stripWS, work+int64(spOut.NNZ()), work) / float64(t))
@@ -165,6 +167,9 @@ func runDiagVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64,
 		id := b*grid.Pc + b
 		copy(out.Dist[pt.RowStart(b):], distLoc[id])
 		copy(out.Parent[pt.RowStart(b):], parentLoc[id])
+	}
+	for id := 0; id < p; id++ {
+		out.ScannedTopDown += scannedTD[id]
 	}
 	out.TraversedEdges = traversedEdges(g, out.Dist)
 	return out

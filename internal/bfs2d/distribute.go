@@ -2,6 +2,7 @@ package bfs2d
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/spmat"
@@ -24,6 +25,29 @@ type Graph struct {
 	// streaming pass over the distance array instead of re-walking every
 	// block's column structure.
 	ColDegree []int64
+
+	pullOnce sync.Once
+	pulls    [][]*spmat.PullSplit
+}
+
+// Pulls returns the row-major (pull) views of every block, built on
+// first call: the access structure of the bottom-up phase, which scans
+// unvisited rows' in-edges instead of frontier columns' out-edges. The
+// blocks already store the transposed adjacency, so the row scan visits
+// exactly the in-neighbors, for directed inputs too. Safe for
+// concurrent callers; like Distribute itself, construction happens
+// outside any timed region.
+func (g *Graph) Pulls() [][]*spmat.PullSplit {
+	g.pullOnce.Do(func() {
+		g.pulls = make([][]*spmat.PullSplit, len(g.Blocks))
+		for i := range g.Blocks {
+			g.pulls[i] = make([]*spmat.PullSplit, len(g.Blocks[i]))
+			for j, blk := range g.Blocks[i] {
+				g.pulls[i][j] = blk.PullView()
+			}
+		}
+	})
+	return g.pulls
 }
 
 // Distribute builds the 2D distribution of an edge list on a pr × pc

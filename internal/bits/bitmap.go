@@ -59,6 +59,43 @@ func (b *Bitmap) Reset() {
 	}
 }
 
+// Grown returns b reset if it holds exactly n bits, or a fresh clear
+// bitmap of n bits otherwise: the arena-recycling policy shared by the
+// BFS drivers' bottom-up scratch bitmaps.
+func Grown(b *Bitmap, n int64) *Bitmap {
+	if b == nil || b.Len() != n {
+		return NewBitmap(n)
+	}
+	b.Reset()
+	return b
+}
+
+// Words exposes the bitmap's backing word array, least-significant bit
+// first. It aliases the bitmap's storage: collectives hand it around by
+// reference, and readers must treat foreign word slices as read-only.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// Or folds src into the bitmap with bitwise OR. src must come from a
+// bitmap of the same length (e.g. another bitmap's Words or a collective
+// result).
+func (b *Bitmap) Or(src []uint64) {
+	if len(src) != len(b.words) {
+		panic("bits: Or word-length mismatch")
+	}
+	for i, w := range src {
+		b.words[i] |= w
+	}
+}
+
+// CopyFrom replaces the bitmap's contents with src, which must have the
+// bitmap's word length.
+func (b *Bitmap) CopyFrom(src []uint64) {
+	if len(src) != len(b.words) {
+		panic("bits: CopyFrom word-length mismatch")
+	}
+	copy(b.words, src)
+}
+
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int64 {
 	var c int64

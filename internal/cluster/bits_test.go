@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+// TestAllgatherBits checks the OR semantics, the repeated-round buffer
+// recycling, and the volume ledger of the bitmap collective.
+func TestAllgatherBits(t *testing.T) {
+	const p = 4
+	const words = 8
+	w := NewWorld(p, ZeroCost{})
+	got := make([][]uint64, p)
+	w.Run(func(r *Rank) {
+		g := w.WorldGroup()
+		for round := 0; round < 3; round++ {
+			mine := make([]uint64, words)
+			// Member i sets bit i in word round; the OR must carry all
+			// four bits in that word and nothing elsewhere.
+			mine[round] = 1 << uint(r.ID())
+			out := g.AllgatherBits(r, mine, "bitmap")
+			cp := append([]uint64(nil), out...) // copy before next round
+			got[r.ID()] = cp
+		}
+	})
+	for i, bm := range got {
+		for k, w := range bm {
+			want := uint64(0)
+			if k == 2 { // last round wrote word 2
+				want = 0xf
+			}
+			if w != want {
+				t.Fatalf("rank %d word %d = %#x, want %#x", i, k, w, want)
+			}
+		}
+	}
+}
+
+func TestAllgatherBitsPricesAllgather(t *testing.T) {
+	const p = 4
+	const words = 1024
+	m := netmodel.Franklin()
+	w := NewWorld(p, m)
+	w.Run(func(r *Rank) {
+		g := w.WorldGroup()
+		g.AllgatherBits(r, make([]uint64, words), "bitmap")
+	})
+	st := w.Stats()
+	want := m.Allgatherv(p, words)
+	if got := st.CommByTag["bitmap"]; got != want {
+		t.Errorf("bitmap collective cost %v, want Allgatherv cost %v", got, want)
+	}
+	// Each member logically sends its chunk and receives the rest.
+	if st.TotalSent != p*(words/p) {
+		t.Errorf("TotalSent = %d, want %d", st.TotalSent, p*(words/p))
+	}
+	if st.TotalRecvd != p*(words-words/p) {
+		t.Errorf("TotalRecvd = %d, want %d", st.TotalRecvd, p*(words-words/p))
+	}
+}
+
+func TestAllgatherBitsLengthMismatchPoisons(t *testing.T) {
+	const p = 2
+	w := NewWorld(p, ZeroCost{})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched word lengths did not surface")
+		}
+	}()
+	w.Run(func(r *Rank) {
+		g := w.WorldGroup()
+		g.AllgatherBits(r, make([]uint64, 4+r.ID()), "bitmap")
+	})
+}

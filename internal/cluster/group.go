@@ -11,6 +11,7 @@ import (
 type payload struct {
 	vec []int64
 	mat [][]int64
+	bm  []uint64
 	num int64
 	f   float64
 }
@@ -38,9 +39,11 @@ type Group struct {
 	leave   float64 // clock value every participant leaves with
 	// scratch holds one reusable [][]int64 per member for result
 	// assembly (all-to-all receive rows, gather parts), recycled every
-	// round; counts is the reusable volume-counting buffer.
+	// round; counts is the reusable volume-counting buffer; orWords is
+	// the reusable accumulator of the bitmap collective.
 	scratch [][][]int64
 	counts  []int64
+	orWords []uint64
 	// poisoned records a panic raised while completing a collective; it
 	// is re-raised on every waiting participant so a failed operation
 	// cannot deadlock the rest of the group.
@@ -263,6 +266,46 @@ func (g *Group) Allgatherv(r *Rank, send []int64, tag string) [][]int64 {
 			r.recvWords += int64(len(part))
 		}
 	}
+	return out
+}
+
+// AllgatherBits is the dense frontier exchange of bottom-up BFS levels:
+// every member contributes an equal-length bitmap word slice with the
+// bits of its owned vertex range set, and every member receives the
+// bitwise OR of all contributions — the global frontier bitmap. Because
+// the owned ranges are disjoint, the operation is semantically an
+// allgather of bitmap chunks, and it is priced as one allgather in
+// which each node ends with the full bitmap. The returned slice follows
+// receive-buffer discipline: it is valid only until the member's next
+// collective on this group and must not be mutated — copy it into
+// rank-owned storage (bits.Bitmap.CopyFrom) before the next operation.
+func (g *Group) AllgatherBits(r *Rank, words []uint64, tag string) []uint64 {
+	n := int64(len(g.members))
+	chunk := (int64(len(words)) + n - 1) / n
+	r.sentWords += chunk
+	out := g.collective(r, payload{bm: words}, tag, func(deposits, results []payload) float64 {
+		if cap(g.orWords) < len(words) {
+			g.orWords = make([]uint64, len(words))
+		}
+		acc := g.orWords[:len(words)]
+		for i := range acc {
+			acc[i] = 0
+		}
+		for i := range deposits {
+			bm := deposits[i].bm
+			if len(bm) != len(words) {
+				panic("cluster: AllgatherBits word-length mismatch across members")
+			}
+			for k, w := range bm {
+				acc[k] |= w
+			}
+		}
+		for i := range results {
+			results[i] = payload{bm: acc}
+		}
+		return g.world.Model.Allgatherv(len(g.members), int64(len(words)))
+	}).bm
+	r.recvWords += int64(len(out)) - chunk
 	return out
 }
 

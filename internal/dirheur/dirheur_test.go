@@ -1,0 +1,99 @@
+package dirheur
+
+import "testing"
+
+func TestFixedModesNeverSwitch(t *testing.T) {
+	td := New(ModeTopDown, Policy{}, 1000, 100000)
+	bu := New(ModeBottomUp, Policy{}, 1000, 100000)
+	if td.Direction() != TopDown {
+		t.Fatal("topdown machine did not start top-down")
+	}
+	if bu.Direction() != BottomUp {
+		t.Fatal("bottomup machine did not start bottom-up")
+	}
+	// Feed statistics that would trip both thresholds in auto mode.
+	for i := 0; i < 5; i++ {
+		if got := td.Advance(900, 50000); got != TopDown {
+			t.Fatalf("level %d: topdown mode switched to %v", i, got)
+		}
+		if got := bu.Advance(1, 1); got != BottomUp {
+			t.Fatalf("level %d: bottomup mode switched to %v", i, got)
+		}
+	}
+}
+
+// TestAutoSwitchesAtKnownSizes drives the machine through a synthetic
+// R-MAT-like frontier profile and pins the exact levels at which the
+// alpha and beta rules fire.
+func TestAutoSwitchesAtKnownSizes(t *testing.T) {
+	const n, adj = 1 << 16, 16 << 16 // 65536 vertices, ~1M adjacency slots
+	m := New(ModeAuto, Policy{Alpha: 14, Beta: 24}, n, adj)
+	if m.Direction() != TopDown {
+		t.Fatal("auto mode did not start top-down")
+	}
+
+	// Level 1: tiny frontier. mf*14 = 4480 <= mu, stay top-down.
+	if got := m.Advance(20, 320); got != TopDown {
+		t.Fatalf("after small level: %v, want top-down", got)
+	}
+	// Level 2: exploding frontier. mf = 200000, mu = adj-320-200000 =
+	// 848256; 200000*14 > 848256, so the alpha rule must fire.
+	if got := m.Advance(12000, 200000); got != BottomUp {
+		t.Fatalf("after heavy level: %v, want bottom-up", got)
+	}
+	// Level 3: still huge: nf*24 >= n keeps it bottom-up.
+	if got := m.Advance(40000, 700000); got != BottomUp {
+		t.Fatalf("mid-plateau: %v, want bottom-up", got)
+	}
+	// Level 4: frontier collapses: 100*24 = 2400 < 65536 flips back.
+	if got := m.Advance(100, 1600); got != TopDown {
+		t.Fatalf("after collapse: %v, want top-down", got)
+	}
+}
+
+func TestAutoAlphaBoundaryExact(t *testing.T) {
+	// After Advance subtracts mf, mu = 1400; with alpha = 14 the rule
+	// "mf*alpha > mu" must not fire at mf = 100 (1400 == 1400) and must
+	// fire at mf = 101 on an identically prepared machine.
+	stay := New(ModeAuto, Policy{Alpha: 14, Beta: 24}, 1<<20, 1500)
+	if got := stay.Advance(10, 100); got != TopDown {
+		t.Fatalf("boundary mf*alpha == mu switched: %v", got)
+	}
+	flip := New(ModeAuto, Policy{Alpha: 14, Beta: 24}, 1<<20, 1501)
+	if got := flip.Advance(10, 101); got != BottomUp {
+		t.Fatalf("mf*alpha > mu did not switch: %v", got)
+	}
+}
+
+func TestUnexploredAccounting(t *testing.T) {
+	m := New(ModeTopDown, Policy{}, 100, 1000)
+	m.Advance(5, 300)
+	if m.Unexplored() != 700 {
+		t.Fatalf("mu = %d, want 700", m.Unexplored())
+	}
+	m.Advance(5, 900) // over-subtraction clamps at zero
+	if m.Unexplored() != 0 {
+		t.Fatalf("mu = %d, want 0", m.Unexplored())
+	}
+}
+
+func TestZeroPolicyGetsDefaults(t *testing.T) {
+	m := New(ModeAuto, Policy{}, 1000, 10000)
+	// With the default alpha of 14 this trips: 1000*14 > 9000.
+	if got := m.Advance(100, 1000); got != BottomUp {
+		t.Fatalf("defaulted policy did not switch: %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if TopDown.String() != "top-down" || BottomUp.String() != "bottom-up" {
+		t.Error("Direction strings wrong")
+	}
+	for m, want := range map[Mode]string{
+		ModeTopDown: "topdown", ModeBottomUp: "bottomup", ModeAuto: "auto", Mode(9): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+// TestDirOptUnchangedWhenOff pins the backward-compatibility contract:
+// a Config with DirOpt false must produce the calibrated paper
+// projections bit-for-bit.
+func TestDirOptUnchangedWhenOff(t *testing.T) {
+	wl := RMATWorkload(32, 16)
+	for _, algo := range []Algo{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid, Reference, PBGL} {
+		base := Predict(Config{Machine: netmodel.Franklin(), Cores: 4096, Algo: algo}, wl)
+		off := Predict(Config{Machine: netmodel.Franklin(), Cores: 4096, Algo: algo, DirOpt: false}, wl)
+		if base.Total != off.Total || base.Comp != off.Comp || base.Comm != off.Comm {
+			t.Errorf("%v: DirOpt=false changed the projection", algo)
+		}
+		if _, ok := base.Phase["bitmap"]; ok {
+			t.Errorf("%v: baseline projection has a bitmap phase", algo)
+		}
+	}
+}
+
+// TestDirOptSpeedsUpRMAT checks the model's qualitative claims: on a
+// low-diameter R-MAT workload the direction-optimized projection beats
+// top-down-only for every tuned variant while computation dominates
+// (up to ~1k cores), always prices a bitmap-exchange phase, and always
+// cuts the computation term by the scan-fraction savings.
+func TestDirOptSpeedsUpRMAT(t *testing.T) {
+	wl := RMATWorkload(32, 16)
+	for _, m := range []*netmodel.Machine{netmodel.Franklin(), netmodel.Hopper()} {
+		for _, algo := range []Algo{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid} {
+			for _, cores := range []int{128, 512, 1024} {
+				base := Predict(Config{Machine: m, Cores: cores, Algo: algo}, wl)
+				opt := Predict(Config{Machine: m, Cores: cores, Algo: algo, DirOpt: true}, wl)
+				if opt.Phase["bitmap"] <= 0 {
+					t.Errorf("%s/%v/%d: no bitmap phase priced", m.Name, algo, cores)
+				}
+				if opt.Comp >= base.Comp {
+					t.Errorf("%s/%v/%d: dir-opt computation %.4g not below baseline %.4g",
+						m.Name, algo, cores, opt.Comp, base.Comp)
+				}
+				if opt.Total >= base.Total {
+					t.Errorf("%s/%v/%d: dir-opt total %.4g not below baseline %.4g",
+						m.Name, algo, cores, opt.Total, base.Total)
+				}
+			}
+		}
+	}
+}
+
+// TestDirOptBitmapCrossover pins the scaling limit the model exposes:
+// the dense frontier exchange moves n/64 words to every node per heavy
+// level regardless of p, so while the sparse all-to-all volume shrinks
+// with p the bitmap term does not, and at high concurrency it comes to
+// dominate the direction-optimized projection. (Distributed
+// direction-optimizing implementations partition the bitmap across
+// subcommunicators for exactly this reason — a candidate future
+// optimization for the emulated drivers too.)
+func TestDirOptBitmapCrossover(t *testing.T) {
+	wl := RMATWorkload(32, 16)
+	m := netmodel.Franklin()
+	small := Predict(Config{Machine: m, Cores: 256, Algo: OneDFlat, DirOpt: true}, wl)
+	if small.Phase["bitmap"] >= small.Total/2 {
+		t.Errorf("bitmap phase dominates at 256 cores: %.4g of %.4g", small.Phase["bitmap"], small.Total)
+	}
+	big := Predict(Config{Machine: m, Cores: 16384, Algo: OneDFlat, DirOpt: true}, wl)
+	if big.Phase["bitmap"] < big.Total/2 {
+		t.Errorf("bitmap phase does not dominate at 16k cores: %.4g of %.4g", big.Phase["bitmap"], big.Total)
+	}
+}
+
+// TestDirOptIgnoredByComparators: the reference and PBGL codes are
+// top-down by construction; DirOpt must not alter their projections.
+func TestDirOptIgnoredByComparators(t *testing.T) {
+	wl := RMATWorkload(30, 16)
+	for _, algo := range []Algo{Reference, PBGL} {
+		base := Predict(Config{Machine: netmodel.Franklin(), Cores: 1024, Algo: algo}, wl)
+		opt := Predict(Config{Machine: netmodel.Franklin(), Cores: 1024, Algo: algo, DirOpt: true}, wl)
+		if base.Total != opt.Total {
+			t.Errorf("%v: DirOpt changed a comparator projection", algo)
+		}
+	}
+}
+
+// TestDirOptHighDiameterModest: on a 140-level crawl most levels are
+// heavy but the per-level bitmap exchange recurs 110 times; the model
+// must still price a finite, positive result with the savings bounded
+// by the scan fraction.
+func TestDirOptHighDiameterModest(t *testing.T) {
+	wl := UKUnionWorkload()
+	base := Predict(Config{Machine: netmodel.Hopper(), Cores: 4096, Algo: TwoDFlat}, wl)
+	opt := Predict(Config{Machine: netmodel.Hopper(), Cores: 4096, Algo: TwoDFlat, DirOpt: true}, wl)
+	if opt.Total <= 0 || opt.GTEPS <= 0 {
+		t.Fatalf("degenerate dir-opt projection: %+v", opt)
+	}
+	if opt.Comp >= base.Comp {
+		t.Errorf("dir-opt computation %.4g not below baseline %.4g", opt.Comp, base.Comp)
+	}
+}

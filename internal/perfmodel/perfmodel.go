@@ -95,6 +95,13 @@ type Config struct {
 	Machine *netmodel.Machine
 	Cores   int
 	Algo    Algo
+	// DirOpt prices the direction-optimizing (Beamer) runtime: the
+	// heavy middle levels run bottom-up, scanning a small fraction of
+	// their edges and exchanging the frontier as a dense bitmap
+	// (allgather of n/64 words per level, phase "bitmap") instead of
+	// the sparse all-to-all. False reproduces the paper's top-down-only
+	// projections unchanged.
+	DirOpt bool
 }
 
 // Breakdown is a predicted per-search execution profile.
@@ -188,7 +195,28 @@ const (
 	// R-MAT's ~8 levels, substantial for a 140-iteration crawl traversal
 	// (Figure 11's computation-dominated profile).
 	levelOverheadSeconds = 2.0e-3
+
+	// Direction-optimization constants. The heavy middle levels carry
+	// dirOptHeavyShare of the edge volume; run bottom-up they examine
+	// only dirOptPullFraction of it (the early exit stops each vertex's
+	// in-edge scan at the first frontier parent — the ~10x reduction
+	// the emulated runs measure on R-MAT middle levels). The remaining
+	// light levels stay top-down at full cost.
+	dirOptHeavyShare   = 0.9
+	dirOptPullFraction = 0.1
 )
+
+// dirOptScanFraction is the fraction of edge traffic a
+// direction-optimized search keeps relative to top-down-only.
+const dirOptScanFraction = (1 - dirOptHeavyShare) + dirOptHeavyShare*dirOptPullFraction
+
+// bitmapPhase prices the dense frontier exchanges of the bottom-up
+// levels: one n/64-word bitmap allgather over the p ranks per heavy
+// level (conversion exchanges are folded into the same count).
+func bitmapPhase(m *netmodel.Machine, wl Workload, p int) float64 {
+	words := (wl.N + 63) / 64
+	return float64(wl.HeavyLevels) * m.Allgatherv(int(p), words)
+}
 
 // threadSpeedup returns the effective parallel speedup of t threads on a
 // level whose parallelizable work is workPerLevel words.
@@ -223,18 +251,34 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 	remoteFrac := float64(p-1) / float64(p)
 	remoteWords := int64(2 * float64(edgesPer) * remoteFrac) // (v, parent) pairs
 
+	// Direction optimization (tuned 1D variants only: the comparator
+	// codes are top-down by construction): the heavy levels run
+	// bottom-up, shrinking the scanned and exchanged edge volume to
+	// dirOptScanFraction, keeping the sparse all-to-all only on the
+	// light levels, and paying the dense bitmap exchange instead.
+	dirOpt := cfg.DirOpt && (cfg.Algo == OneDFlat || cfg.Algo == OneDHybrid)
+	eScan, rScan := float64(edgesPer), float64(remoteWords)
+	a2aLevels := float64(wl.Levels)
+	if dirOpt {
+		eScan *= dirOptScanFraction
+		rScan *= dirOptScanFraction
+		if a2aLevels = float64(wl.Levels - wl.HeavyLevels); a2aLevels < 0 {
+			a2aLevels = 0
+		}
+	}
+
 	// --- Local computation (Section 5.1) ---
 	// m/p·βL adjacency stream, n/p·αL,n/p pointer+frontier accesses,
 	// m/p·αL,n/p distance checks, plus buffer packing streams.
-	streams := float64(edgesPer) + float64(remoteWords)*(1+float64(fac.extraPasses))
+	streams := eScan + rScan*(1+float64(fac.extraPasses))
 	if t > 1 {
-		streams += float64(remoteWords) // thread-buffer merge pass
+		streams += rScan // thread-buffer merge pass
 	}
-	comp := float64(edgesPer)*m.AlphaMem(nloc)*fac.comp +
+	comp := eScan*m.AlphaMem(nloc)*fac.comp +
 		float64(nloc)*(m.AlphaMem(nloc)+2*m.BetaMem) +
 		streams*m.BetaMem +
-		float64(edgesPer)*fac.comp/m.ComputeRate
-	comp /= threadSpeedup(t, float64(edgesPer)/float64(wl.Levels))
+		eScan*fac.comp/m.ComputeRate
+	comp /= threadSpeedup(t, eScan/float64(wl.Levels))
 	if t > 1 {
 		comp += float64(wl.Levels) * 3 * 4000 / m.ComputeRate // thread barriers
 	}
@@ -245,11 +289,15 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 	// identical for flat and hybrid, while the latency term and the
 	// torus-contention degradation shrink with the hybrid's smaller p.
 	rpn := float64(cfg.Machine.CoresPerNode) / t
-	a2a := float64(wl.Levels)*float64(p)*m.AlphaNet*fac.latency +
-		float64(remoteWords)*rpn*torus(m, m.BetaA2A, float64(p))*fac.commVol
+	a2a := a2aLevels*float64(p)*m.AlphaNet*fac.latency +
+		rScan*rpn*torus(m, m.BetaA2A, float64(p))*fac.commVol
 	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
 
-	return finish(cfg, wl, comp, map[string]float64{"a2a": a2a, "allreduce": allred}, [2]int{int(p), 1})
+	phases := map[string]float64{"a2a": a2a, "allreduce": allred}
+	if dirOpt {
+		phases["bitmap"] = bitmapPhase(m, wl, int(p))
+	}
+	return finish(cfg, wl, comp, phases, [2]int{int(p), 1})
 }
 
 // predict2D models Algorithm 3 with the 2D vector distribution. The
@@ -280,6 +328,23 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 	expandWords := int64(float64(wl.N) / pc) // frontier replication along the column
 	transposeWords := nloc                   // each frontier entry crosses once
 
+	// Direction optimization: the heavy levels pull instead of pushing
+	// (scan volume drops to dirOptScanFraction) and skip the transpose
+	// and expand entirely — the dense bitmap exchange carries the
+	// frontier — while the fold of discovered candidates remains in both
+	// directions.
+	dirOpt := cfg.DirOpt
+	eScan := float64(edgesPer)
+	tdLevels := float64(wl.Levels)
+	tdShare := 1.0
+	if dirOpt {
+		eScan *= dirOptScanFraction
+		if tdLevels = float64(wl.Levels - wl.HeavyLevels); tdLevels < 0 {
+			tdLevels = 0
+		}
+		tdShare = 1 - dirOptHeavyShare
+	}
+
 	// --- Local computation (Section 5.2) ---
 	// m/p·βL + n/pc·αL(n/pc) frontier accesses + m/p·αL(n/pr) scatter;
 	// the larger working sets (n/pr, n/pc vs n/p) are exactly why the 2D
@@ -287,13 +352,13 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 	// shrinks the scatter working set by t.
 	stripWS := rowBlock / int64(t64)
 	logOut := math.Log2(foldEntries/h + 2)
-	comp := float64(edgesPer)*m.AlphaMem(stripWS) + // scatter into SPA range
+	comp := eScan*m.AlphaMem(stripWS) + // scatter into SPA range / pull probes
 		float64(nloc)*m.AlphaMem(expandWords) + // frontier accesses, n/pc working set
-		(float64(edgesPer)+2*float64(expandWords)+2*float64(foldWords))*m.BetaMem +
-		float64(edgesPer)/m.ComputeRate +
+		(eScan+2*float64(expandWords)*tdShare+2*float64(foldWords))*m.BetaMem +
+		eScan/m.ComputeRate +
 		foldEntries*spaExtractOps*logOut/m.ComputeRate + // SPA index sort at extraction
 		foldEntries*m.AlphaMem(nloc) // fold-merge mask probes
-	comp /= threadSpeedup(t, float64(edgesPer)/float64(wl.Levels))
+	comp /= threadSpeedup(t, eScan/float64(wl.Levels))
 	comp += float64(wl.Levels) * levelOverheadSeconds
 	if t > 1 {
 		comp += float64(wl.Levels) * 4000 / m.ComputeRate
@@ -305,17 +370,21 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 	// communication advantage of the 2D decomposition. Bandwidth terms
 	// carry the NIC-sharing factor like the 1D model.
 	rpn := float64(cfg.Machine.CoresPerNode) / t
-	expand := float64(wl.Levels)*pr*m.AlphaNet +
-		float64(expandWords)*rpn*torus(m, m.BetaAG, pr)
+	expand := tdLevels*pr*m.AlphaNet +
+		float64(expandWords)*tdShare*rpn*torus(m, m.BetaAG, pr)
 	fold := float64(wl.Levels)*pc*m.AlphaNet +
 		float64(foldWords)*rpn*torus(m, m.BetaA2A, pc)
-	transpose := float64(wl.Levels)*m.AlphaNet +
-		float64(transposeWords)*rpn*m.BetaP2P
+	transpose := tdLevels*m.AlphaNet +
+		float64(transposeWords)*tdShare*rpn*m.BetaP2P
 	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
 
-	return finish(cfg, wl, comp, map[string]float64{
+	phases := map[string]float64{
 		"expand": expand, "fold": fold, "transpose": transpose, "allreduce": allred,
-	}, [2]int{int(pr), int(pc)})
+	}
+	if dirOpt {
+		phases["bitmap"] = bitmapPhase(m, wl, int(p))
+	}
+	return finish(cfg, wl, comp, phases, [2]int{int(pr), int(pc)})
 }
 
 // predictPBGL models the PBGL comparator: 1D dataflow with fat serialized

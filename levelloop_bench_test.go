@@ -14,6 +14,7 @@ import (
 	"repro/internal/bfs1d"
 	"repro/internal/bfs2d"
 	"repro/internal/cluster"
+	"repro/internal/dirheur"
 	"repro/internal/graph"
 	"repro/internal/graph500"
 	"repro/internal/netmodel"
@@ -39,7 +40,7 @@ func levelLoopSource(b *testing.B, el *graph.EdgeList) int64 {
 	return srcs[0]
 }
 
-func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel) {
+func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir dirheur.Mode) {
 	b.Helper()
 	el, err := rmat.Graph500(levelLoopScale, 16, 0xbf).GenerateUndirected()
 	if err != nil {
@@ -55,6 +56,9 @@ func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel) {
 	}
 	src := levelLoopSource(b, el)
 	machine := netmodel.Franklin()
+	if dir != dirheur.ModeTopDown {
+		dg.Pulls() // static pull views build with distribution, outside the timer
+	}
 	var arena bfs2d.Arena
 	defer arena.Close()
 	b.ReportAllocs()
@@ -64,6 +68,7 @@ func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel) {
 		grid := cluster.NewGrid(w, pr, pr)
 		out := bfs2d.Run(w, grid, dg, src, bfs2d.Options{
 			Threads: threads, Kernel: kernel, Price: machine, Arena: &arena,
+			Direction: dir,
 		})
 		if out.TraversedEdges == 0 {
 			b.Fatal("benchmark source did no work")
@@ -71,7 +76,7 @@ func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel) {
 	}
 }
 
-func benchLevelLoop1D(b *testing.B, ranks, threads int) {
+func benchLevelLoop1D(b *testing.B, ranks, threads int, dir dirheur.Mode) {
 	b.Helper()
 	el, err := rmat.Graph500(levelLoopScale, 16, 0xbf).GenerateUndirected()
 	if err != nil {
@@ -83,9 +88,11 @@ func benchLevelLoop1D(b *testing.B, ranks, threads int) {
 	}
 	src := levelLoopSource(b, el)
 	machine := netmodel.Franklin()
+	dg.Symmetric = true // undirected R-MAT: pull aliases the push CSRs
 	opt := bfs1d.DefaultOptions()
 	opt.Threads = threads
 	opt.Price = machine
+	opt.Direction = dir
 	opt.Arena = &bfs1d.Arena{}
 	defer opt.Arena.Close()
 	b.ReportAllocs()
@@ -99,7 +106,21 @@ func benchLevelLoop1D(b *testing.B, ranks, threads int) {
 	}
 }
 
-func BenchmarkBFSLevelLoop2DFlat(b *testing.B)   { benchLevelLoop2D(b, 16, 1, spmat.KernelAuto) }
-func BenchmarkBFSLevelLoop2DHybrid(b *testing.B) { benchLevelLoop2D(b, 16, 4, spmat.KernelAuto) }
-func BenchmarkBFSLevelLoop1DFlat(b *testing.B)   { benchLevelLoop1D(b, 16, 1) }
-func BenchmarkBFSLevelLoop1DHybrid(b *testing.B) { benchLevelLoop1D(b, 16, 4) }
+// Top-down-only rows: the PR 1 baselines, and the configuration the
+// paper evaluates.
+func BenchmarkBFSLevelLoop2DFlat(b *testing.B) {
+	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeTopDown)
+}
+func BenchmarkBFSLevelLoop2DHybrid(b *testing.B) {
+	benchLevelLoop2D(b, 16, 4, spmat.KernelAuto, dirheur.ModeTopDown)
+}
+func BenchmarkBFSLevelLoop1DFlat(b *testing.B)   { benchLevelLoop1D(b, 16, 1, dirheur.ModeTopDown) }
+func BenchmarkBFSLevelLoop1DHybrid(b *testing.B) { benchLevelLoop1D(b, 16, 4, dirheur.ModeTopDown) }
+
+// Direction-optimized rows: the library default since PR 2.
+func BenchmarkBFSLevelLoop2DFlatAuto(b *testing.B) {
+	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeAuto)
+}
+func BenchmarkBFSLevelLoop1DFlatAuto(b *testing.B) {
+	benchLevelLoop1D(b, 16, 1, dirheur.ModeAuto)
+}

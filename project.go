@@ -32,7 +32,21 @@ func ProjectWebCrawl(machine string, cores int, algo Algorithm) (*Projection, er
 	return project(machine, cores, algo, perfmodel.UKUnionWorkload())
 }
 
+// ProjectRMATDirOpt is ProjectRMAT with direction optimization priced
+// in: the heavy middle levels run bottom-up at a fraction of the edge
+// traffic, paying a dense bitmap exchange (phase "bitmap") per level
+// instead of the sparse all-to-all. Comparing it against ProjectRMAT
+// exposes the crossover where the n/64-word bitmap volume overtakes the
+// shrinking per-rank all-to-all volume at high core counts.
+func ProjectRMATDirOpt(machine string, cores int, algo Algorithm, scale, edgeFactor int) (*Projection, error) {
+	return projectCfg(machine, cores, algo, true, perfmodel.RMATWorkload(scale, edgeFactor))
+}
+
 func project(machine string, cores int, algo Algorithm, wl perfmodel.Workload) (*Projection, error) {
+	return projectCfg(machine, cores, algo, false, wl)
+}
+
+func projectCfg(machine string, cores int, algo Algorithm, dirOpt bool, wl perfmodel.Workload) (*Projection, error) {
 	m, ok := netmodel.Profiles()[machine]
 	if !ok {
 		return nil, fmt.Errorf("pbfs: unknown machine %q", machine)
@@ -41,7 +55,7 @@ func project(machine string, cores int, algo Algorithm, wl perfmodel.Workload) (
 		return nil, fmt.Errorf("pbfs: core count %d < 1", cores)
 	}
 	b := perfmodel.Predict(perfmodel.Config{
-		Machine: m, Cores: cores, Algo: perfmodel.Algo(algo),
+		Machine: m, Cores: cores, Algo: perfmodel.Algo(algo), DirOpt: dirOpt,
 	}, wl)
 	return &Projection{
 		GTEPS:       b.GTEPS,

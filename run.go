@@ -7,6 +7,7 @@ import (
 	"repro/internal/bfs1d"
 	"repro/internal/bfs2d"
 	"repro/internal/cluster"
+	"repro/internal/dirheur"
 	"repro/internal/netmodel"
 	"repro/internal/spmat"
 )
@@ -28,6 +29,14 @@ type Options struct {
 	// Kernel selects the local SpMSV accumulator for 2D variants:
 	// "auto" (default), "spa", or "heap".
 	Kernel string
+	// Direction selects the per-level traversal policy for the 1D and
+	// 2D algorithms; the zero value is Auto (direction-optimized). The
+	// Reference and PBGL comparators are top-down by construction and
+	// ignore it, and DiagonalVectors supports only TopDownOnly.
+	Direction Direction
+	// Alpha and Beta override the direction-switch thresholds used by
+	// Auto (zero = the published defaults, 14 and 24).
+	Alpha, Beta int64
 	// DiagonalVectors switches the 2D variants to the diagonal-only
 	// vector distribution (the Figure 4 imbalance configuration).
 	DiagonalVectors bool
@@ -85,6 +94,27 @@ func (g *Graph) BFS(source int64, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("pbfs: unknown kernel %q (want auto, spa or heap)", opt.Kernel)
 	}
 
+	var mode dirheur.Mode
+	switch opt.Direction {
+	case Auto:
+		mode = dirheur.ModeAuto
+	case TopDownOnly:
+		mode = dirheur.ModeTopDown
+	case BottomUpOnly:
+		mode = dirheur.ModeBottomUp
+	default:
+		return nil, fmt.Errorf("pbfs: unknown direction %v", opt.Direction)
+	}
+	if opt.DiagonalVectors {
+		// The diagonal layout has no pull path: Auto degrades to pure
+		// top-down; an explicit bottom-up request is an error.
+		if mode == dirheur.ModeBottomUp {
+			return nil, fmt.Errorf("pbfs: DiagonalVectors does not support Direction: BottomUpOnly")
+		}
+		mode = dirheur.ModeTopDown
+	}
+	policy := dirheur.Policy{Alpha: opt.Alpha, Beta: opt.Beta}
+
 	w := cluster.NewWorld(ranks, model)
 	res := &Result{Source: source}
 	switch opt.Algorithm {
@@ -93,13 +123,19 @@ func (g *Graph) BFS(source int64, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Undirected facade graphs are symmetrized, so the bottom-up
+		// phase can pull over the push CSRs without a transposed copy.
+		dg.Symmetric = !g.directed
 		out := bfs1d.Run(w, dg, source, bfs1d.Options{
 			Threads: threads, LocalShortcut: true, DedupSends: true,
+			Direction: mode, Policy: policy,
 			Price: price, Trace: opt.Trace,
 		})
 		res.Dist, res.Parent = out.Dist, out.Parent
 		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+		res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
 		res.LevelFrontier = out.LevelFrontier
+		res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
 	case Reference, PBGL:
 		dg, err := bfs1d.Distribute(g.el, ranks)
 		if err != nil {
@@ -128,11 +164,15 @@ func (g *Graph) BFS(source int64, opt Options) (*Result, error) {
 			vec = bfs2d.DistDiag
 		}
 		out := bfs2d.Run(w, grid, dg, source, bfs2d.Options{
-			Threads: threads, Kernel: kernel, Vector: vec, Price: price, Trace: opt.Trace,
+			Threads: threads, Kernel: kernel, Vector: vec,
+			Direction: mode, Policy: policy,
+			Price: price, Trace: opt.Trace,
 		})
 		res.Dist, res.Parent = out.Dist, out.Parent
 		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+		res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
 		res.LevelFrontier = out.LevelFrontier
+		res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
 	default:
 		return nil, fmt.Errorf("pbfs: unknown algorithm %v", opt.Algorithm)
 	}

@@ -1,9 +1,28 @@
 #!/usr/bin/env bash
 # ci.sh — the repository's tier-1 gate plus hygiene checks:
-# formatting, vet, build, full tests, and a one-iteration benchmark
-# smoke pass over the BFS level loops.
+# docs references, formatting, vet, build, full tests, and a
+# one-iteration benchmark smoke pass over the BFS level loops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== docs gate =="
+# Every documentation file the public package doc (pbfs.go) or the
+# README points readers at must exist: a dangling reference is a broken
+# front door.
+missing=0
+for src in pbfs.go README.md; do
+    # Match whole repo-relative references (letters, digits, _, -, .,
+    # and path separators), checked relative to the repo root.
+    for ref in $(grep -oE '[A-Za-z0-9][A-Za-z0-9_./-]*\.md' "$src" | sort -u); do
+        if [ ! -f "$ref" ]; then
+            echo "$src references missing file: $ref" >&2
+            missing=1
+        fi
+    done
+done
+if [ "$missing" -ne 0 ]; then
+    exit 1
+fi
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
