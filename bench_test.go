@@ -1,4 +1,4 @@
-package pbfs
+package pbfs_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation
 // section, plus ablation benches for the design choices DESIGN.md calls
@@ -15,6 +15,7 @@ import (
 	"io"
 	"testing"
 
+	pbfs "repro"
 	"repro/internal/bench"
 	"repro/internal/graph"
 	"repro/internal/prng"
@@ -83,9 +84,9 @@ func BenchmarkReferenceComparison(b *testing.B) { benchDriver(b, "refcomp", true
 
 // benchBFS times one emulated distributed BFS configuration end to end
 // (wall clock of the real Go execution, not simulated seconds).
-func benchBFS(b *testing.B, algo Algorithm, ranks int, opt Options) {
+func benchBFS(b *testing.B, algo pbfs.Algorithm, ranks int, opt pbfs.Options) {
 	b.Helper()
-	g, err := NewRMATGraph(13, 16, 0xbe)
+	g, err := pbfs.NewRMATGraph(13, 16, 0xbe)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -103,37 +104,37 @@ func benchBFS(b *testing.B, algo Algorithm, ranks int, opt Options) {
 // BenchmarkAblationKernelSPA vs ...Heap: the Figure 3 choice embedded in
 // a whole BFS (design choice 1).
 func BenchmarkAblationKernelSPA(b *testing.B) {
-	benchBFS(b, TwoDFlat, 16, Options{Kernel: "spa"})
+	benchBFS(b, pbfs.TwoDFlat, 16, pbfs.Options{Kernel: "spa"})
 }
 
 func BenchmarkAblationKernelHeap(b *testing.B) {
-	benchBFS(b, TwoDFlat, 16, Options{Kernel: "heap"})
+	benchBFS(b, pbfs.TwoDFlat, 16, pbfs.Options{Kernel: "heap"})
 }
 
 // BenchmarkAblationVector2D vs ...Diag: the vector-distribution choice
 // (design choice 2, Figure 4).
 func BenchmarkAblationVector2D(b *testing.B) {
-	benchBFS(b, TwoDFlat, 16, Options{})
+	benchBFS(b, pbfs.TwoDFlat, 16, pbfs.Options{})
 }
 
 func BenchmarkAblationVectorDiag(b *testing.B) {
-	benchBFS(b, TwoDFlat, 16, Options{DiagonalVectors: true})
+	benchBFS(b, pbfs.TwoDFlat, 16, pbfs.Options{DiagonalVectors: true})
 }
 
 // BenchmarkAblationLocalShortcut vs ...NoShortcut: the 1D local-update
 // optimization (design choice 3) — the reference baseline routes local
 // discoveries through the exchange.
 func BenchmarkAblationLocalShortcut(b *testing.B) {
-	benchBFS(b, OneDFlat, 8, Options{})
+	benchBFS(b, pbfs.OneDFlat, 8, pbfs.Options{})
 }
 
 func BenchmarkAblationNoShortcut(b *testing.B) {
-	benchBFS(b, Reference, 8, Options{})
+	benchBFS(b, pbfs.Reference, 8, pbfs.Options{})
 }
 
 // BenchmarkSerialBFS is the single-core baseline all speedups compare to.
 func BenchmarkSerialBFS(b *testing.B) {
-	g, err := NewRMATGraph(13, 16, 0xbe)
+	g, err := pbfs.NewRMATGraph(13, 16, 0xbe)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -26,6 +26,10 @@ type BatchStats struct {
 // opt, every search validated, and the batch summarized. It returns an
 // error if any search fails validation — a benchmark that reports rates
 // for wrong answers is worthless.
+//
+// The batch runs through one Session, so the graph is distributed and
+// the per-rank scratch allocated exactly once for the configuration;
+// only the searches themselves repeat.
 func (g *Graph) Benchmark(opt Options, k int, seed uint64) (*BatchStats, error) {
 	if k < 1 {
 		k = 16 // the paper's minimum search count
@@ -34,9 +38,11 @@ func (g *Graph) Benchmark(opt Options, k int, seed uint64) (*BatchStats, error) 
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("pbfs: no usable search keys")
 	}
+	sess := NewSession()
+	defer sess.Close()
 	runs := make([]graph500.Run, 0, len(sources))
 	for i, src := range sources {
-		res, err := g.BFS(src, opt)
+		res, err := sess.Search(g, src, opt)
 		if err != nil {
 			return nil, fmt.Errorf("pbfs: search %d: %w", i+1, err)
 		}

@@ -1,6 +1,9 @@
 // Command bfsrun executes a single distributed BFS configuration and
 // prints its result profile: levels, traversed edges, simulated time,
-// TEPS, and the per-phase communication breakdown.
+// TEPS, and the per-phase communication breakdown. With -sources N > 1
+// the searches share one pbfs.Session (the graph is distributed once
+// and scratch reused, like the Graph 500 protocol), and a batch summary
+// with the harmonic-mean TEPS follows the per-search lines.
 //
 // Example:
 //
@@ -14,6 +17,7 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/graph500"
 )
 
 var algoNames = map[string]pbfs.Algorithm{
@@ -70,14 +74,27 @@ func main() {
 	if len(keys) == 0 {
 		fatal(fmt.Errorf("no usable search keys"))
 	}
+	// One session for the whole batch: distribution, pull structures and
+	// per-rank scratch are built once, every search after the first pays
+	// only the level loop.
+	sess := pbfs.NewSession()
+	defer sess.Close()
+	runs := make([]graph500.Run, 0, len(keys))
 	for i, src := range keys {
-		res, err := g.BFS(src, pbfs.Options{
+		res, err := sess.Search(g, src, pbfs.Options{
 			Algorithm: algo, Ranks: *ranks, Threads: *threads,
 			Machine: *machine, Kernel: *kernel, Direction: dir, Trace: *trace,
 		})
 		if err != nil {
 			fatal(err)
 		}
+		runs = append(runs, graph500.Run{
+			Source:   src,
+			Time:     res.SimTime,
+			CommTime: res.CommTime,
+			Edges:    res.TraversedEdges,
+			Levels:   res.Levels,
+		})
 		if *validate {
 			if err := g.Validate(res); err != nil {
 				fatal(err)
@@ -112,6 +129,18 @@ func main() {
 		}
 		if *validate {
 			fmt.Println("  validation       ok")
+		}
+	}
+	if len(runs) > 1 {
+		st := graph500.Summarize(runs)
+		fmt.Printf("\nbatch summary (%d searches, one session)\n", st.NumRuns)
+		fmt.Printf("  mean levels        %.1f\n", st.MeanLevels)
+		if st.MeanTime > 0 {
+			fmt.Printf("  harmonic mean TEPS %.3e\n", st.HarmonicMeanTEPS)
+			fmt.Printf("  TEPS min/max       %.3e / %.3e\n", st.MinTEPS, st.MaxTEPS)
+			fmt.Printf("  time mean/median   %.6f s / %.6f s\n", st.MeanTime, st.MedianTime)
+			fmt.Printf("  time min/max       %.6f s / %.6f s\n", st.MinTime, st.MaxTime)
+			fmt.Printf("  comm time mean     %.6f s\n", st.MeanCommTime)
 		}
 	}
 }

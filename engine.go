@@ -1,0 +1,348 @@
+package pbfs
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/baseline"
+	"repro/internal/bfs1d"
+	"repro/internal/bfs2d"
+	"repro/internal/cluster"
+	"repro/internal/dirheur"
+	"repro/internal/netmodel"
+	"repro/internal/spmat"
+)
+
+// layout is an engine cache key: the resolved Options fields that
+// determine an engine's distributed data structures and clock pricing.
+// Two Options values with equal layouts share one engine; a change in
+// any field means a different distribution, grid, thread shape, kernel
+// plan, or cost model, so the session builds (and caches) another
+// engine. Per-search fields (Direction, Alpha/Beta, Trace) are not part
+// of the key: one engine serves every direction policy.
+type layout struct {
+	algo    Algorithm
+	ranks   int
+	threads int
+	machine string
+	kernel  spmat.Kernel
+	diag    bool
+}
+
+// resolveLayout validates and normalizes Options into a layout, so that
+// defaulted and explicit spellings of the same configuration (Ranks 0
+// vs 4, Kernel "" vs "auto") land on the same engine.
+func resolveLayout(opt Options) (layout, error) {
+	switch opt.Algorithm {
+	case OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid, Reference, PBGL:
+	default:
+		return layout{}, fmt.Errorf("pbfs: unknown algorithm %v", opt.Algorithm)
+	}
+	lay := layout{
+		algo:    opt.Algorithm,
+		ranks:   opt.Ranks,
+		machine: opt.Machine,
+		diag:    opt.DiagonalVectors,
+	}
+	if lay.ranks < 1 {
+		lay.ranks = 4
+	}
+	var machine *netmodel.Machine
+	if opt.Machine != "" {
+		m, ok := netmodel.Profiles()[opt.Machine]
+		if !ok {
+			return layout{}, fmt.Errorf("pbfs: unknown machine %q (want franklin, hopper or carver)", opt.Machine)
+		}
+		machine = m
+	}
+	lay.threads = opt.Threads
+	hybrid := opt.Algorithm == OneDHybrid || opt.Algorithm == TwoDHybrid
+	if lay.threads < 1 {
+		lay.threads = 1
+		if hybrid {
+			lay.threads = 4
+			if machine != nil {
+				lay.threads = machine.ThreadsPerRank
+			}
+		}
+	}
+	switch opt.Kernel {
+	case "", "auto":
+		lay.kernel = spmat.KernelAuto
+	case "spa":
+		lay.kernel = spmat.KernelSPA
+	case "heap":
+		lay.kernel = spmat.KernelHeap
+	default:
+		return layout{}, fmt.Errorf("pbfs: unknown kernel %q (want auto, spa or heap)", opt.Kernel)
+	}
+	// Only the 2D drivers consume the kernel and vector-distribution
+	// knobs; dropping them from other algorithms' keys keeps a session
+	// from building redundant engines (and paying duplicate
+	// distributions) for configurations that run the same search.
+	// DiagonalVectors still reaches resolveDirection per search, where
+	// it forces top-down exactly as before. Threads stays in every key:
+	// it feeds the shared-machine cost model even for the flat and
+	// comparator codes.
+	if opt.Algorithm != TwoDFlat && opt.Algorithm != TwoDHybrid {
+		lay.kernel = spmat.KernelAuto
+		lay.diag = false
+	}
+	return lay, nil
+}
+
+// pricing returns the cost model the engine's world charges collectives
+// against and the pricer its driver charges local computation against
+// (nil pricer = pure correctness mode).
+func (lay layout) pricing() (cluster.CostModel, cluster.Pricer) {
+	if lay.machine == "" {
+		return cluster.ZeroCost{}, nil
+	}
+	m := netmodel.Profiles()[lay.machine]
+	shared := m.WithRanksPerNode(m.CoresPerNode / lay.threads)
+	return shared, shared
+}
+
+// resolveDirection maps the per-search direction fields of Options onto
+// the drivers' heuristic mode and policy.
+func resolveDirection(opt Options) (dirheur.Mode, dirheur.Policy, error) {
+	var mode dirheur.Mode
+	switch opt.Direction {
+	case Auto:
+		mode = dirheur.ModeAuto
+	case TopDownOnly:
+		mode = dirheur.ModeTopDown
+	case BottomUpOnly:
+		mode = dirheur.ModeBottomUp
+	default:
+		return 0, dirheur.Policy{}, fmt.Errorf("pbfs: unknown direction %v", opt.Direction)
+	}
+	if opt.DiagonalVectors {
+		// The diagonal layout has no pull path: Auto degrades to pure
+		// top-down; an explicit bottom-up request is an error.
+		if mode == dirheur.ModeBottomUp {
+			return 0, dirheur.Policy{}, fmt.Errorf("pbfs: DiagonalVectors does not support Direction: BottomUpOnly")
+		}
+		mode = dirheur.ModeTopDown
+	}
+	return mode, dirheur.Policy{Alpha: opt.Alpha, Beta: opt.Beta}, nil
+}
+
+// engine is the driver-side half of a Session: it owns one layout's
+// long-lived state — the distributed graph (with its lazily-built pull
+// structures), the world (and grid) whose communicator groups carry the
+// collectives, and the cross-search scratch arenas — and runs searches
+// against it. Engines are not safe for concurrent searches (arenas
+// serve one run at a time); the session serializes access.
+type engine interface {
+	// search runs one BFS from source; opt supplies only the per-search
+	// fields (Direction, Alpha/Beta, Trace).
+	search(source int64, opt Options) (*Result, error)
+	// rebind points the engine at a different facade graph, rebuilding
+	// the distribution while keeping the world, grid, and arenas.
+	rebind(g *Graph) error
+	// boundTo returns the facade graph the engine currently serves.
+	boundTo() *Graph
+	// close releases held resources (worker-pool goroutines).
+	close()
+}
+
+// distributions counts graph distributions performed by engines, so
+// tests can assert that a batch pays for exactly one per configuration.
+var distributions atomic.Int64
+
+// newEngine builds the engine for a layout and distributes g onto it.
+func newEngine(lay layout, g *Graph) (engine, error) {
+	model, price := lay.pricing()
+	var e engine
+	switch lay.algo {
+	case OneDFlat, OneDHybrid:
+		e = &engine1D{lay: lay, w: cluster.NewWorld(lay.ranks, model), price: price}
+	case Reference, PBGL:
+		e = &engineBase{lay: lay, w: cluster.NewWorld(lay.ranks, model), price: price}
+	case TwoDFlat, TwoDHybrid:
+		pr := isqrt(lay.ranks)
+		if pr*pr != lay.ranks {
+			return nil, fmt.Errorf("pbfs: 2D algorithms need a square rank count, got %d", lay.ranks)
+		}
+		w := cluster.NewWorld(lay.ranks, model)
+		vec := bfs2d.Dist2D
+		if lay.diag {
+			vec = bfs2d.DistDiag
+		}
+		e = &engine2D{lay: lay, pr: pr, w: w, grid: cluster.NewGrid(w, pr, pr), vec: vec, price: price}
+	default:
+		return nil, fmt.Errorf("pbfs: unknown algorithm %v", lay.algo)
+	}
+	if err := e.rebind(g); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// fillTimes copies the world's per-search clock ledgers into the result.
+// Callers reset the world before each search, so the stats are exactly
+// that search's profile.
+func fillTimes(res *Result, w *cluster.World) {
+	st := w.Stats()
+	res.SimTime = st.MaxClock
+	for _, c := range st.CommTime {
+		if c > res.CommTime {
+			res.CommTime = c
+		}
+	}
+	res.CommByPhase = st.CommByTag
+}
+
+// engine1D drives the 1D vertex-partitioned algorithms (flat and
+// hybrid; the thread width is fixed in the layout).
+type engine1D struct {
+	lay   layout
+	g     *Graph
+	dg    *bfs1d.Graph
+	w     *cluster.World
+	price cluster.Pricer
+	arena bfs1d.Arena
+}
+
+func (e *engine1D) boundTo() *Graph { return e.g }
+
+func (e *engine1D) rebind(g *Graph) error {
+	dg, err := bfs1d.Distribute(g.el, e.lay.ranks)
+	if err != nil {
+		return err
+	}
+	distributions.Add(1)
+	// Undirected facade graphs are symmetrized, so the bottom-up phase
+	// can pull over the push CSRs without a transposed copy.
+	dg.Symmetric = !g.directed
+	e.g, e.dg = g, dg
+	return nil
+}
+
+func (e *engine1D) search(source int64, opt Options) (*Result, error) {
+	mode, policy, err := resolveDirection(opt)
+	if err != nil {
+		return nil, err
+	}
+	e.w.Reset()
+	out := bfs1d.Run(e.w, e.dg, source, bfs1d.Options{
+		Threads: e.lay.threads, LocalShortcut: true, DedupSends: true,
+		Direction: mode, Policy: policy,
+		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
+	})
+	res := &Result{Source: source}
+	res.Dist, res.Parent = out.Dist, out.Parent
+	res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+	res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
+	res.LevelFrontier = out.LevelFrontier
+	res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
+	fillTimes(res, e.w)
+	return res, nil
+}
+
+func (e *engine1D) close() { e.arena.Close() }
+
+// engine2D drives the 2D checkerboard algorithms. It owns the grid's
+// row/column communicators in addition to the world.
+type engine2D struct {
+	lay   layout
+	pr    int
+	g     *Graph
+	dg    *bfs2d.Graph
+	w     *cluster.World
+	grid  *cluster.Grid
+	vec   bfs2d.VectorDist
+	price cluster.Pricer
+	arena bfs2d.Arena
+}
+
+func (e *engine2D) boundTo() *Graph { return e.g }
+
+func (e *engine2D) rebind(g *Graph) error {
+	dg, err := bfs2d.Distribute(g.el, e.pr, e.pr, e.lay.threads)
+	if err != nil {
+		return err
+	}
+	distributions.Add(1)
+	e.g, e.dg = g, dg
+	return nil
+}
+
+func (e *engine2D) search(source int64, opt Options) (*Result, error) {
+	mode, policy, err := resolveDirection(opt)
+	if err != nil {
+		return nil, err
+	}
+	e.w.Reset()
+	out, err := bfs2d.Run(e.w, e.grid, e.dg, source, bfs2d.Options{
+		Threads: e.lay.threads, Kernel: e.lay.kernel, Vector: e.vec,
+		Direction: mode, Policy: policy,
+		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Source: source}
+	res.Dist, res.Parent = out.Dist, out.Parent
+	res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+	res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
+	res.LevelFrontier = out.LevelFrontier
+	res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
+	fillTimes(res, e.w)
+	return res, nil
+}
+
+func (e *engine2D) close() { e.arena.Close() }
+
+// engineBase drives the Section 6 comparator codes (Graph 500 reference
+// and PBGL). They are top-down by construction and allocate their own
+// scratch per run — the work-inefficiency is the point — so the engine
+// holds only the distribution and the world.
+type engineBase struct {
+	lay   layout
+	g     *Graph
+	dg    *bfs1d.Graph
+	w     *cluster.World
+	price cluster.Pricer
+}
+
+func (e *engineBase) boundTo() *Graph { return e.g }
+
+func (e *engineBase) rebind(g *Graph) error {
+	dg, err := bfs1d.Distribute(g.el, e.lay.ranks)
+	if err != nil {
+		return err
+	}
+	distributions.Add(1)
+	e.g, e.dg = g, dg
+	return nil
+}
+
+func (e *engineBase) search(source int64, opt Options) (*Result, error) {
+	if _, _, err := resolveDirection(opt); err != nil {
+		return nil, err
+	}
+	e.w.Reset()
+	var out *bfs1d.Output
+	if e.lay.algo == Reference {
+		out = baseline.RunReference(e.w, e.dg, source, e.price)
+	} else {
+		out = baseline.RunPBGL(e.w, e.dg, source, e.price)
+	}
+	res := &Result{Source: source}
+	res.Dist, res.Parent = out.Dist, out.Parent
+	res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
+	fillTimes(res, e.w)
+	return res, nil
+}
+
+func (e *engineBase) close() {}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

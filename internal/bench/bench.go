@@ -97,14 +97,22 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 
 	res := &EmuResult{PhaseMax: map[string]float64{}}
 	runs := make([]graph500.Run, 0, len(sources))
-	// One scratch arena per algorithm family, reused across the searches
-	// (the Graph 500 protocol's steady state).
+	// Session mechanics: one world (with its collective groups), one
+	// grid, and one scratch arena per algorithm family, all reused
+	// across the searches — the Graph 500 protocol's steady state. The
+	// world's clocks are reset between searches so each run's stats are
+	// its own.
+	w := cluster.NewWorld(cfg.Ranks, machine)
+	var grid *cluster.Grid
+	if g2 != nil {
+		grid = cluster.NewGrid(w, pr, pr)
+	}
 	var arena1 bfs1d.Arena
 	var arena2 bfs2d.Arena
 	defer arena1.Close()
 	defer arena2.Close()
 	for i, src := range sources {
-		w := cluster.NewWorld(cfg.Ranks, machine)
+		w.Reset()
 		var dist, parent []int64
 		var levels, traversed int64
 		switch cfg.Algo {
@@ -121,11 +129,13 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 			out := baseline.RunPBGL(w, g1, src, machine)
 			dist, parent, levels, traversed = out.Dist, out.Parent, out.Levels, out.TraversedEdges
 		case perfmodel.TwoDFlat, perfmodel.TwoDHybrid:
-			grid := cluster.NewGrid(w, pr, pr)
-			out := bfs2d.Run(w, grid, g2, src, bfs2d.Options{
+			out, err := bfs2d.Run(w, grid, g2, src, bfs2d.Options{
 				Threads: threads, Kernel: cfg.Kernel, Vector: cfg.Vector,
 				Price: machine, Arena: &arena2,
 			})
+			if err != nil {
+				return nil, err
+			}
 			dist, parent, levels, traversed = out.Dist, out.Parent, out.Levels, out.TraversedEdges
 		}
 		if cfg.Validate && i == 0 {

@@ -6,25 +6,28 @@ import (
 	"io"
 	"os"
 	"testing"
+	"time"
 
-	"repro/internal/bfs1d"
-	"repro/internal/bfs2d"
-	"repro/internal/cluster"
-	"repro/internal/dirheur"
-	"repro/internal/graph"
-	"repro/internal/graph500"
-	"repro/internal/netmodel"
+	pbfs "repro"
 )
 
+// batchSearches is the Graph 500 minimum search count, the batch size
+// the amortized session metrics are measured over.
+const batchSearches = 16
+
 // WallResult is one configuration's wall-clock and simulated profile:
-// ns/op and allocs/op measure the real Go execution of the level loop
-// (graph distribution excluded) under the library default direction
-// policy (auto), while SimSeconds/SimTEPS come from the calibrated
-// Section 5 clock. The Scanned* fields record the direction-optimizing
-// work savings against a top-down-only run of the same search: the
-// "midlevel" pair restricts the comparison to the iterations the auto
-// policy ran bottom-up (the dense middle levels). Together they form
-// the BENCH trajectory the repository tracks across PRs.
+// ns/op and allocs/op measure the real Go execution of one steady-state
+// search through an open pbfs.Session (distribution and scratch warm)
+// under the library default direction policy (auto), while
+// SimSeconds/SimTEPS come from the calibrated Section 5 clock. The
+// Scanned* fields record the direction-optimizing work savings against
+// a top-down-only run of the same search: the "midlevel" pair restricts
+// the comparison to the iterations the auto policy ran bottom-up (the
+// dense middle levels). The Batch* fields are the session-layer win: a
+// 16-search batch through one open session (one distribution, reused
+// world and arenas) against the same batch through per-search one-shot
+// BFS calls that rebuild everything each time. Together they form the
+// BENCH trajectory the repository tracks across PRs.
 type WallResult struct {
 	Config      string  `json:"config"`
 	Ranks       int     `json:"ranks"`
@@ -43,6 +46,14 @@ type WallResult struct {
 	MidScannedTopDown  int64   `json:"midlevel_scanned_topdown_only"`
 	MidScannedAuto     int64   `json:"midlevel_scanned_auto"`
 	MidReduction       float64 `json:"midlevel_reduction"`
+
+	// Amortized batch metrics (16-search Graph 500 batch).
+	BatchSearches     int     `json:"batch_searches"`
+	BatchSessionNs    float64 `json:"batch_session_ns"`
+	BatchRebuildNs    float64 `json:"batch_rebuild_ns"`
+	BatchSpeedup      float64 `json:"batch_speedup"`
+	SetupNs           float64 `json:"setup_ns"`
+	SteadyNsPerSearch float64 `json:"steady_ns_per_search"`
 }
 
 // WallReport is the machine-readable payload of BENCH_bfs.json.
@@ -53,128 +64,126 @@ type WallReport struct {
 	Results    []WallResult `json:"results"`
 }
 
-// levelProfile is one traced search's direction-relevant output.
-type levelProfile struct {
-	simTime       float64
-	traversed     int64
-	scannedTD     int64
-	scannedBU     int64
-	levelScanned  []int64
-	levelBottomUp []bool
-}
-
-// WallClock benchmarks the four BFS variants' level loops on one R-MAT
-// instance: real ns/op, bytes/op, and allocs/op via testing.Benchmark
-// under the default direction policy, plus each configuration's
-// simulated time, TEPS, and the auto-vs-top-down scanned-edge record.
-// The graph is generated and distributed once per variant, outside the
-// timed region.
+// WallClock benchmarks the four BFS variants on one R-MAT instance
+// through the public session API: real ns/op, bytes/op, and allocs/op
+// of a warm-session search via testing.Benchmark under the default
+// direction policy, each configuration's simulated time, TEPS, and
+// auto-vs-top-down scanned-edge record, plus the amortized batch
+// comparison (one session for 16 searches vs 16 one-shot rebuilds).
 func WallClock(scale, ef int, seed uint64) (*WallReport, error) {
-	el, err := rmatEdges(scale, ef, seed)
+	g, err := pbfs.NewRMATGraph(scale, ef, seed)
 	if err != nil {
 		return nil, err
 	}
-	ref, err := graph.BuildCSR(el, true)
-	if err != nil {
-		return nil, err
-	}
-	sources := graph500.SelectSources(ref, 1, seed)
-	if len(sources) == 0 {
+	srcs := g.Sources(batchSearches, seed)
+	if len(srcs) == 0 {
 		return nil, fmt.Errorf("bench: no usable wall-clock source")
 	}
-	src := sources[0]
-	machine := netmodel.Franklin()
+	src := srcs[0]
 	const ranks = 16
 	report := &WallReport{Scale: scale, EdgeFactor: ef, Seed: seed}
 
 	for _, cfg := range []struct {
 		name    string
+		algo    pbfs.Algorithm
 		threads int
-		twoD    bool
 	}{
-		{"1d-flat", 1, false},
-		{"1d-hybrid", 4, false},
-		{"2d-flat", 1, true},
-		{"2d-hybrid", 4, true},
+		{"1d-flat", pbfs.OneDFlat, 1},
+		{"1d-hybrid", pbfs.OneDHybrid, 4},
+		{"2d-flat", pbfs.TwoDFlat, 1},
+		{"2d-hybrid", pbfs.TwoDHybrid, 4},
 	} {
-		// Each branch builds a closure running one full search over its
-		// cross-run arena; the measurement protocol below is shared.
-		var run func(mode dirheur.Mode, trace bool) levelProfile
-		var closeArena func()
-		if cfg.twoD {
-			dg, err := bfs2d.Distribute(el, 4, 4, cfg.threads)
-			if err != nil {
-				return nil, err
-			}
-			arena := &bfs2d.Arena{}
-			closeArena = arena.Close
-			run = func(mode dirheur.Mode, trace bool) levelProfile {
-				w := cluster.NewWorld(ranks, machine)
-				grid := cluster.NewGrid(w, 4, 4)
-				out := bfs2d.Run(w, grid, dg, src, bfs2d.Options{
-					Threads: cfg.threads, Price: machine, Arena: arena,
-					Direction: mode, Trace: trace,
-				})
-				return levelProfile{
-					simTime: w.Stats().MaxClock, traversed: out.TraversedEdges,
-					scannedTD: out.ScannedTopDown, scannedBU: out.ScannedBottomUp,
-					levelScanned: out.LevelScanned, levelBottomUp: out.LevelBottomUp,
-				}
-			}
-		} else {
-			dg, err := bfs1d.Distribute(el, ranks)
-			if err != nil {
-				return nil, err
-			}
-			dg.Symmetric = true // undirected R-MAT instance
-			arena := &bfs1d.Arena{}
-			closeArena = arena.Close
-			run = func(mode dirheur.Mode, trace bool) levelProfile {
-				w := cluster.NewWorld(ranks, machine)
-				opt := bfs1d.DefaultOptions()
-				opt.Threads = cfg.threads
-				opt.Price = machine
-				opt.Arena = arena
-				opt.Direction = mode
-				opt.Trace = trace
-				out := bfs1d.Run(w, dg, src, opt)
-				return levelProfile{
-					simTime: w.Stats().MaxClock, traversed: out.TraversedEdges,
-					scannedTD: out.ScannedTopDown, scannedBU: out.ScannedBottomUp,
-					levelScanned: out.LevelScanned, levelBottomUp: out.LevelBottomUp,
-				}
-			}
+		opt := pbfs.Options{
+			Algorithm: cfg.algo, Ranks: ranks, Threads: cfg.threads,
+			Machine: "franklin",
 		}
 		res := WallResult{Config: cfg.name, Ranks: ranks, Threads: cfg.threads,
-			Direction: dirheur.ModeAuto.String()}
-		auto := run(dirheur.ModeAuto, true)
-		td := run(dirheur.ModeTopDown, true)
-		res.SimSeconds = auto.simTime
-		res.SimTEPS = graph500.TEPS(graph500.UndirectedEdges(auto.traversed), auto.simTime)
-		res.ScannedTopDownOnly = td.scannedTD
-		res.ScannedAutoTD = auto.scannedTD
-		res.ScannedAutoBU = auto.scannedBU
-		res.ScannedAuto = auto.scannedTD + auto.scannedBU
+			Direction: pbfs.Auto.String(), BatchSearches: len(srcs)}
+
+		// Cold first search: builds the engine (distribution, world,
+		// arenas) that every later search in the session reuses.
+		sess := pbfs.NewSession()
+		start := time.Now()
+		if _, err := sess.Search(g, src, opt); err != nil {
+			return nil, err
+		}
+		coldNs := float64(time.Since(start).Nanoseconds())
+
+		search := func(dir pbfs.Direction, trace bool) (*pbfs.Result, error) {
+			o := opt
+			o.Direction = dir
+			o.Trace = trace
+			return sess.Search(g, src, o)
+		}
+		auto, err := search(pbfs.Auto, true)
+		if err != nil {
+			return nil, err
+		}
+		// Same engine, different direction policy: sessions are safe to
+		// reuse across policies.
+		td, err := search(pbfs.TopDownOnly, true)
+		if err != nil {
+			return nil, err
+		}
+		res.SimSeconds = auto.SimTime
+		res.SimTEPS = auto.TEPS()
+		res.ScannedTopDownOnly = td.ScannedTopDown
+		res.ScannedAutoTD = auto.ScannedTopDown
+		res.ScannedAutoBU = auto.ScannedBottomUp
+		res.ScannedAuto = auto.ScannedTopDown + auto.ScannedBottomUp
 		// Both runs traverse the same level structure, so their per-level
 		// scan profiles align; restrict the ratio to the iterations the
 		// auto policy ran bottom-up (the heavy middle levels).
-		for l, bu := range auto.levelBottomUp {
-			if !bu || l >= len(td.levelScanned) {
+		for l, bu := range auto.LevelBottomUp {
+			if !bu || l >= len(td.LevelScanned) {
 				continue
 			}
-			res.MidScannedTopDown += td.levelScanned[l]
-			res.MidScannedAuto += auto.levelScanned[l]
+			res.MidScannedTopDown += td.LevelScanned[l]
+			res.MidScannedAuto += auto.LevelScanned[l]
 		}
 		if res.MidScannedAuto > 0 {
 			res.MidReduction = float64(res.MidScannedTopDown) / float64(res.MidScannedAuto)
 		}
+		var benchErr error
 		fill(&res, testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				run(dirheur.ModeAuto, false)
+				if _, err := search(pbfs.Auto, false); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
 			}
 		}))
-		closeArena()
+		if benchErr != nil {
+			return nil, benchErr
+		}
+
+		// The amortized batch: the full Graph 500 search list through
+		// the warm session, against the same list through one-shot BFS
+		// calls that redistribute per search.
+		start = time.Now()
+		for _, s := range srcs {
+			if _, err := sess.Search(g, s, opt); err != nil {
+				return nil, err
+			}
+		}
+		res.BatchSessionNs = float64(time.Since(start).Nanoseconds())
+		sess.Close()
+
+		start = time.Now()
+		for _, s := range srcs {
+			if _, err := g.BFS(s, opt); err != nil {
+				return nil, err
+			}
+		}
+		res.BatchRebuildNs = float64(time.Since(start).Nanoseconds())
+		if res.BatchSessionNs > 0 {
+			res.BatchSpeedup = res.BatchRebuildNs / res.BatchSessionNs
+		}
+		res.SteadyNsPerSearch = res.BatchSessionNs / float64(len(srcs))
+		if res.SetupNs = coldNs - res.SteadyNsPerSearch; res.SetupNs < 0 {
+			res.SetupNs = 0
+		}
 		report.Results = append(report.Results, res)
 	}
 	return report, nil
@@ -195,7 +204,7 @@ func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\n=== Wall-clock BFS level loops (scale %d, ef %d) -> %s ===\n",
+	fmt.Fprintf(w, "\n=== Wall-clock BFS searches (scale %d, ef %d) -> %s ===\n",
 		rep.Scale, rep.EdgeFactor, path)
 	fmt.Fprintf(w, "%-10s %6s %3s %14s %14s %12s %12s %14s %14s %10s\n",
 		"config", "ranks", "t", "ns/op", "allocs/op", "sim-s", "sim-TEPS",
@@ -204,6 +213,14 @@ func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
 		fmt.Fprintf(w, "%-10s %6d %3d %14.0f %14.0f %12.3g %12.4g %14d %14d %9.1fx\n",
 			r.Config, r.Ranks, r.Threads, r.NsPerOp, r.AllocsPerOp, r.SimSeconds, r.SimTEPS,
 			r.ScannedTopDownOnly, r.ScannedAuto, r.MidReduction)
+	}
+	fmt.Fprintf(w, "\n%-10s %8s %16s %16s %9s %14s %16s\n",
+		"config", "searches", "batch-session", "batch-rebuild", "speedup",
+		"setup-ns", "steady-ns/srch")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-10s %8d %16.0f %16.0f %8.1fx %14.0f %16.0f\n",
+			r.Config, r.BatchSearches, r.BatchSessionNs, r.BatchRebuildNs,
+			r.BatchSpeedup, r.SetupNs, r.SteadyNsPerSearch)
 	}
 	return nil
 }

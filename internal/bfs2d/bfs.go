@@ -1,6 +1,8 @@
 package bfs2d
 
 import (
+	"fmt"
+
 	"repro/internal/bits"
 	"repro/internal/cluster"
 	"repro/internal/dirheur"
@@ -132,30 +134,37 @@ const threadBarrierOps = 4000
 // Run executes a BFS from source on a grid of pr*pc ranks. The grid must
 // match the distribution of g, and must be square (the configuration the
 // paper evaluates; rectangular grids are handled by the analytic model
-// only).
-func Run(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Options) *Output {
+// only). Violated entry preconditions are reported as errors, never
+// panics, so engines can surface a bad rank count to their callers.
+func Run(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Options) (*Output, error) {
 	pt := g.Part
 	if grid.Pr != pt.Pr || grid.Pc != pt.Pc {
-		panic("bfs2d: grid does not match distribution")
+		return nil, fmt.Errorf("bfs2d: %dx%d grid does not match %dx%d distribution",
+			grid.Pr, grid.Pc, pt.Pr, pt.Pc)
 	}
 	if !grid.Square() {
-		panic("bfs2d: emulated 2D BFS requires a square grid")
+		return nil, fmt.Errorf("bfs2d: emulated 2D BFS requires a square grid, got %dx%d",
+			grid.Pr, grid.Pc)
+	}
+	if w.P != grid.Pr*grid.Pc {
+		return nil, fmt.Errorf("bfs2d: world of %d ranks does not match %dx%d grid",
+			w.P, grid.Pr, grid.Pc)
 	}
 	if source < 0 || source >= pt.N {
-		panic("bfs2d: source out of range")
+		return nil, fmt.Errorf("bfs2d: source %d out of range [0,%d)", source, pt.N)
 	}
 	switch opt.Vector {
 	case Dist2D:
-		return run2DVector(w, grid, g, source, opt)
+		return run2DVector(w, grid, g, source, opt), nil
 	case DistDiag:
 		if opt.Direction != dirheur.ModeTopDown {
 			// The diagonal layout exists to reproduce the Figure 4
 			// imbalance experiment; it has no pull path.
-			panic("bfs2d: diagonal vector distribution is top-down only")
+			return nil, fmt.Errorf("bfs2d: diagonal vector distribution is top-down only")
 		}
-		return runDiagVector(w, grid, g, source, opt)
+		return runDiagVector(w, grid, g, source, opt), nil
 	}
-	panic("bfs2d: unknown vector distribution")
+	return nil, fmt.Errorf("bfs2d: unknown vector distribution %d", opt.Vector)
 }
 
 // run2DVector is Algorithm 3 with the 2D vector distribution.

@@ -123,7 +123,10 @@ func runAndValidate(t *testing.T, el *graph.EdgeList, pr int, source int64, opt 
 	}
 	w := cluster.NewWorld(pr*pr, cluster.ZeroCost{})
 	grid := cluster.NewGrid(w, pr, pr)
-	out := Run(w, grid, dg, source, opt)
+	out, err := Run(w, grid, dg, source, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sref := serial.BFS(ref, source)
 	res := &serial.Result{Source: source, Dist: out.Dist, Parent: out.Parent}
 	if err := serial.Validate(ref, res, sref); err != nil {
@@ -219,7 +222,9 @@ func TestDiagImbalanceVisible(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Vector = DistDiag
 	opt.Price = m
-	Run(w, grid, dg, goodSource(t, el), opt)
+	if _, err := Run(w, grid, dg, goodSource(t, el), opt); err != nil {
+		t.Fatal(err)
+	}
 	st := w.Stats()
 	var diagComm, offComm float64
 	for id := 0; id < pr*pr; id++ {
@@ -251,7 +256,9 @@ func TestBFS2DChargesPhases(t *testing.T) {
 	grid := cluster.NewGrid(w, 3, 3)
 	opt := DefaultOptions()
 	opt.Price = m
-	Run(w, grid, dg, goodSource(t, el), opt)
+	if _, err := Run(w, grid, dg, goodSource(t, el), opt); err != nil {
+		t.Fatal(err)
+	}
 	st := w.Stats()
 	for _, tag := range []string{"expand", "fold", "transpose", "allreduce"} {
 		if st.CommByTag[tag] <= 0 {
@@ -290,7 +297,10 @@ func TestBFS2DPropertyRandom(t *testing.T) {
 		}
 		w := cluster.NewWorld(pr*pr, cluster.ZeroCost{})
 		grid := cluster.NewGrid(w, pr, pr)
-		out := Run(w, grid, dg, source, opt)
+		out, err := Run(w, grid, dg, source, opt)
+		if err != nil {
+			return false
+		}
 		sref := serial.BFS(ref, source)
 		res := &serial.Result{Source: source, Dist: out.Dist, Parent: out.Parent}
 		return serial.Validate(ref, res, sref) == nil

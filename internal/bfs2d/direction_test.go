@@ -29,7 +29,10 @@ func runDir2D(t *testing.T, el *graph.EdgeList, pr, threads int, source int64, m
 	opt := DefaultOptions()
 	opt.Threads = threads
 	opt.Direction = mode
-	out := Run(w, grid, dg, source, opt)
+	out, err := Run(w, grid, dg, source, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sref := serial.BFS(ref, source)
 	res := &serial.Result{Source: source, Dist: out.Dist, Parent: out.Parent}
 	if err := serial.Validate(ref, res, sref); err != nil {
@@ -121,7 +124,10 @@ func TestDirection2DDirected(t *testing.T) {
 		grid := cluster.NewGrid(w, 2, 2)
 		opt := DefaultOptions()
 		opt.Direction = mode
-		out := Run(w, grid, dg, src, opt)
+		out, err := Run(w, grid, dg, src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for v := range out.Dist {
 			if out.Dist[v] != sref.Dist[v] {
 				t.Fatalf("mode %v: dist[%d] = %d, want %d", mode, v, out.Dist[v], sref.Dist[v])
@@ -141,15 +147,12 @@ func TestDirectionDiagRejectsBottomUp(t *testing.T) {
 	}
 	w := cluster.NewWorld(4, cluster.ZeroCost{})
 	grid := cluster.NewGrid(w, 2, 2)
-	defer func() {
-		if recover() == nil {
-			t.Error("diagonal vectors with bottom-up direction did not panic")
-		}
-	}()
 	opt := DefaultOptions()
 	opt.Vector = DistDiag
 	opt.Direction = dirheur.ModeAuto
-	Run(w, grid, dg, 0, opt)
+	if _, err := Run(w, grid, dg, 0, opt); err == nil {
+		t.Error("diagonal vectors with a non-top-down direction did not error")
+	}
 }
 
 // TestDirection2DPropertyRandom cross-checks auto and bottom-up modes
@@ -188,7 +191,10 @@ func TestDirection2DPropertyRandom(t *testing.T) {
 					return false
 				}
 			}
-			out := Run(w, grid, dg2, source, opt)
+			out, err := Run(w, grid, dg2, source, opt)
+			if err != nil {
+				return false
+			}
 			res := &serial.Result{Source: source, Dist: out.Dist, Parent: out.Parent}
 			if serial.Validate(ref, res, sref) != nil {
 				return false

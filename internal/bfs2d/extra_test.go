@@ -43,7 +43,10 @@ func TestTraceMatchesDistances(t *testing.T) {
 	grid := cluster.NewGrid(w, 2, 2)
 	opt := DefaultOptions()
 	opt.Trace = true
-	out := Run(w, grid, dg, src, opt)
+	out, err := Run(w, grid, dg, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// The trace must equal the per-level histogram of serial distances.
 	sref := serial.BFS(ref, src)

@@ -73,6 +73,24 @@ func NewWorld(p int, model CostModel) *World {
 // WorldGroup returns the group containing all ranks.
 func (w *World) WorldGroup() *Group { return w.world }
 
+// Reset zeroes every rank's clock and communication ledgers so the same
+// world (and the groups built over it) can time another run. Sessions
+// reuse one world across a whole Graph 500 search batch, resetting
+// between searches; rebuilding the world and its grid groups per search
+// would discard the groups' collective scratch as well. Must not be
+// called while Run is executing.
+func (w *World) Reset() {
+	for _, r := range w.ranks {
+		r.clock = 0
+		r.compTime = 0
+		r.sentWords = 0
+		r.recvWords = 0
+		for tag := range r.commTime {
+			delete(r.commTime, tag)
+		}
+	}
+}
+
 // Run executes body once per rank, each in its own goroutine, and blocks
 // until all complete. It panics with the first rank error if any body
 // panics (collectives would otherwise deadlock on a lost participant).
@@ -137,14 +155,21 @@ func (r *Rank) Charge(dt float64) {
 func (r *Rank) CompTime() float64 { return r.compTime }
 
 // CommTime returns accumulated communication seconds for the tag, or the
-// total over all tags when tag is empty.
+// total over all tags when tag is empty. The total is summed in sorted
+// tag order: map iteration order would wobble the last ulp between runs,
+// and the simulated profile is supposed to be bit-deterministic.
 func (r *Rank) CommTime(tag string) float64 {
 	if tag != "" {
 		return r.commTime[tag]
 	}
+	tags := make([]string, 0, len(r.commTime))
+	for tag := range r.commTime {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
 	var t float64
-	for _, v := range r.commTime {
-		t += v
+	for _, tag := range tags {
+		t += r.commTime[tag]
 	}
 	return t
 }

@@ -251,3 +251,45 @@ func TestRunPanicsPropagate(t *testing.T) {
 		}
 	})
 }
+
+func TestWorldResetClearsLedgers(t *testing.T) {
+	m := netmodel.Franklin()
+	const p = 4
+	w := NewWorld(p, m)
+	g := w.WorldGroup()
+	body := func(r *Rank) {
+		r.Charge(0.01)
+		send := make([][]int64, p)
+		for j := range send {
+			send[j] = []int64{1, 2}
+		}
+		g.Alltoallv(r, send, "a2a")
+		g.Barrier(r, "sync")
+	}
+	w.Run(body)
+	first := w.Stats()
+	if first.MaxClock <= 0 || first.TotalSent == 0 {
+		t.Fatalf("first run recorded nothing: %+v", first)
+	}
+	w.Reset()
+	zero := w.Stats()
+	if zero.MaxClock != 0 || zero.TotalSent != 0 || zero.TotalRecvd != 0 {
+		t.Errorf("Reset left ledgers populated: %+v", zero)
+	}
+	for i := 0; i < p; i++ {
+		if zero.CompTime[i] != 0 || zero.CommTime[i] != 0 {
+			t.Errorf("rank %d ledgers not reset: comp=%v comm=%v",
+				i, zero.CompTime[i], zero.CommTime[i])
+		}
+	}
+	if len(zero.CommByTag) != 0 {
+		t.Errorf("per-tag comm survives Reset: %v", zero.CommByTag)
+	}
+	// A second identical run over the reset world must reproduce the
+	// first run's ledgers exactly (deterministic simulated time).
+	w.Run(body)
+	second := w.Stats()
+	if second.MaxClock != first.MaxClock || second.TotalSent != first.TotalSent {
+		t.Errorf("post-reset run differs: %+v vs %+v", second, first)
+	}
+}

@@ -18,10 +18,16 @@
 // Quick start:
 //
 //	g, _ := pbfs.NewRMATGraph(16, 16, 42)
-//	res, _ := g.BFS(g.Sources(1, 1)[0], pbfs.Options{
-//		Algorithm: pbfs.TwoDHybrid, Ranks: 16, Machine: "hopper",
-//	})
-//	fmt.Println(res.Levels, res.SimTime)
+//	opt := pbfs.Options{Algorithm: pbfs.TwoDHybrid, Ranks: 16, Machine: "hopper"}
+//	sess := pbfs.NewSession() // distributes once, reuses scratch across searches
+//	defer sess.Close()
+//	for _, src := range g.Sources(16, 1) {
+//		res, _ := sess.Search(g, src, opt)
+//		fmt.Println(res.Levels, res.SimTime)
+//	}
+//
+// One-off searches can use g.BFS(src, opt), which opens and closes a
+// private single-search session.
 package pbfs
 
 import (

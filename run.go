@@ -1,18 +1,10 @@
 package pbfs
 
-import (
-	"fmt"
-
-	"repro/internal/baseline"
-	"repro/internal/bfs1d"
-	"repro/internal/bfs2d"
-	"repro/internal/cluster"
-	"repro/internal/dirheur"
-	"repro/internal/netmodel"
-	"repro/internal/spmat"
-)
-
-// Options configures a distributed BFS run.
+// Options configures a distributed BFS run. The layout fields
+// (Algorithm, Ranks, Threads, Machine, Kernel, DiagonalVectors) select
+// an engine — a distributed graph, world/grid, and scratch arenas that
+// a Session caches across searches — while Direction, Alpha/Beta, and
+// Trace vary freely per search on the same engine.
 type Options struct {
 	// Algorithm selects the implementation; the zero value is OneDFlat.
 	Algorithm Algorithm
@@ -45,153 +37,13 @@ type Options struct {
 }
 
 // BFS runs a distributed breadth-first search from source under the
-// given options and returns the assembled result.
+// given options and returns the assembled result. It opens a one-shot
+// session — distribution and scratch are built, used once, and
+// released. Callers running several searches under the same
+// configuration (the Graph 500 protocol) should hold a Session open
+// instead and pay that setup once.
 func (g *Graph) BFS(source int64, opt Options) (*Result, error) {
-	if source < 0 || source >= g.NumVerts() {
-		return nil, fmt.Errorf("pbfs: source %d out of range [0,%d)", source, g.NumVerts())
-	}
-	ranks := opt.Ranks
-	if ranks < 1 {
-		ranks = 4
-	}
-
-	var machine *netmodel.Machine
-	if opt.Machine != "" {
-		m, ok := netmodel.Profiles()[opt.Machine]
-		if !ok {
-			return nil, fmt.Errorf("pbfs: unknown machine %q (want franklin, hopper or carver)", opt.Machine)
-		}
-		machine = m
-	}
-	threads := opt.Threads
-	hybrid := opt.Algorithm == OneDHybrid || opt.Algorithm == TwoDHybrid
-	if threads < 1 {
-		threads = 1
-		if hybrid {
-			threads = 4
-			if machine != nil {
-				threads = machine.ThreadsPerRank
-			}
-		}
-	}
-
-	var model cluster.CostModel = cluster.ZeroCost{}
-	var price cluster.Pricer
-	if machine != nil {
-		shared := machine.WithRanksPerNode(machine.CoresPerNode / threads)
-		model = shared
-		price = shared
-	}
-
-	kernel := spmat.KernelAuto
-	switch opt.Kernel {
-	case "", "auto":
-	case "spa":
-		kernel = spmat.KernelSPA
-	case "heap":
-		kernel = spmat.KernelHeap
-	default:
-		return nil, fmt.Errorf("pbfs: unknown kernel %q (want auto, spa or heap)", opt.Kernel)
-	}
-
-	var mode dirheur.Mode
-	switch opt.Direction {
-	case Auto:
-		mode = dirheur.ModeAuto
-	case TopDownOnly:
-		mode = dirheur.ModeTopDown
-	case BottomUpOnly:
-		mode = dirheur.ModeBottomUp
-	default:
-		return nil, fmt.Errorf("pbfs: unknown direction %v", opt.Direction)
-	}
-	if opt.DiagonalVectors {
-		// The diagonal layout has no pull path: Auto degrades to pure
-		// top-down; an explicit bottom-up request is an error.
-		if mode == dirheur.ModeBottomUp {
-			return nil, fmt.Errorf("pbfs: DiagonalVectors does not support Direction: BottomUpOnly")
-		}
-		mode = dirheur.ModeTopDown
-	}
-	policy := dirheur.Policy{Alpha: opt.Alpha, Beta: opt.Beta}
-
-	w := cluster.NewWorld(ranks, model)
-	res := &Result{Source: source}
-	switch opt.Algorithm {
-	case OneDFlat, OneDHybrid:
-		dg, err := bfs1d.Distribute(g.el, ranks)
-		if err != nil {
-			return nil, err
-		}
-		// Undirected facade graphs are symmetrized, so the bottom-up
-		// phase can pull over the push CSRs without a transposed copy.
-		dg.Symmetric = !g.directed
-		out := bfs1d.Run(w, dg, source, bfs1d.Options{
-			Threads: threads, LocalShortcut: true, DedupSends: true,
-			Direction: mode, Policy: policy,
-			Price: price, Trace: opt.Trace,
-		})
-		res.Dist, res.Parent = out.Dist, out.Parent
-		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
-		res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
-		res.LevelFrontier = out.LevelFrontier
-		res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
-	case Reference, PBGL:
-		dg, err := bfs1d.Distribute(g.el, ranks)
-		if err != nil {
-			return nil, err
-		}
-		var out *bfs1d.Output
-		if opt.Algorithm == Reference {
-			out = baseline.RunReference(w, dg, source, price)
-		} else {
-			out = baseline.RunPBGL(w, dg, source, price)
-		}
-		res.Dist, res.Parent = out.Dist, out.Parent
-		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
-	case TwoDFlat, TwoDHybrid:
-		pr := isqrt(ranks)
-		if pr*pr != ranks {
-			return nil, fmt.Errorf("pbfs: 2D algorithms need a square rank count, got %d", ranks)
-		}
-		dg, err := bfs2d.Distribute(g.el, pr, pr, threads)
-		if err != nil {
-			return nil, err
-		}
-		grid := cluster.NewGrid(w, pr, pr)
-		vec := bfs2d.Dist2D
-		if opt.DiagonalVectors {
-			vec = bfs2d.DistDiag
-		}
-		out := bfs2d.Run(w, grid, dg, source, bfs2d.Options{
-			Threads: threads, Kernel: kernel, Vector: vec,
-			Direction: mode, Policy: policy,
-			Price: price, Trace: opt.Trace,
-		})
-		res.Dist, res.Parent = out.Dist, out.Parent
-		res.Levels, res.TraversedEdges = out.Levels, out.TraversedEdges/2
-		res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
-		res.LevelFrontier = out.LevelFrontier
-		res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
-	default:
-		return nil, fmt.Errorf("pbfs: unknown algorithm %v", opt.Algorithm)
-	}
-
-	st := w.Stats()
-	res.SimTime = st.MaxClock
-	for _, c := range st.CommTime {
-		if c > res.CommTime {
-			res.CommTime = c
-		}
-	}
-	res.CommByPhase = st.CommByTag
-	return res, nil
-}
-
-func isqrt(n int) int {
-	r := 0
-	for (r+1)*(r+1) <= n {
-		r++
-	}
-	return r
+	s := NewSession()
+	defer s.Close()
+	return s.Search(g, source, opt)
 }

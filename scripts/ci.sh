@@ -41,6 +41,13 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== race smoke (session reuse + collective substrate) =="
+# Small-scale race check over the paths where goroutine ranks, worker
+# pools, and cross-search arenas interlock: the session-reuse tests at
+# the facade and the cluster substrate's own suite.
+go test -race -run 'Session' .
+go test -race ./internal/cluster ./internal/smp
+
 echo "== bench smoke (BFS level loops, 1 iteration) =="
 go test -run '^$' -bench=BFS -benchtime=1x -benchmem .
 

@@ -1,0 +1,229 @@
+package pbfs
+
+import (
+	"strings"
+	"testing"
+)
+
+// sessionAlgorithms is every public algorithm; ranks 4 works for all
+// (the 2D variants need a square).
+var sessionAlgorithms = []Algorithm{
+	OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid, Reference, PBGL,
+}
+
+// sameResult fails the test unless a and b agree on every field a
+// reused engine could corrupt: outputs, work accounting, and the
+// simulated-time profile.
+func sameResult(t *testing.T, label string, fresh, reused *Result) {
+	t.Helper()
+	if fresh.Source != reused.Source {
+		t.Fatalf("%s: source %d != %d", label, reused.Source, fresh.Source)
+	}
+	for v := range fresh.Dist {
+		if fresh.Dist[v] != reused.Dist[v] {
+			t.Fatalf("%s: dist[%d] = %d, fresh BFS got %d", label, v, reused.Dist[v], fresh.Dist[v])
+		}
+		if fresh.Parent[v] != reused.Parent[v] {
+			t.Fatalf("%s: parent[%d] = %d, fresh BFS got %d", label, v, reused.Parent[v], fresh.Parent[v])
+		}
+	}
+	if fresh.Levels != reused.Levels || fresh.TraversedEdges != reused.TraversedEdges {
+		t.Fatalf("%s: levels/edges %d/%d, fresh BFS got %d/%d", label,
+			reused.Levels, reused.TraversedEdges, fresh.Levels, fresh.TraversedEdges)
+	}
+	if fresh.ScannedTopDown != reused.ScannedTopDown || fresh.ScannedBottomUp != reused.ScannedBottomUp {
+		t.Fatalf("%s: scanned %d+%d, fresh BFS got %d+%d", label,
+			reused.ScannedTopDown, reused.ScannedBottomUp, fresh.ScannedTopDown, fresh.ScannedBottomUp)
+	}
+	if fresh.SimTime != reused.SimTime || fresh.CommTime != reused.CommTime {
+		t.Fatalf("%s: sim/comm time %v/%v, fresh BFS got %v/%v", label,
+			reused.SimTime, reused.CommTime, fresh.SimTime, fresh.CommTime)
+	}
+}
+
+// TestSessionReuseBitIdentical drives one shared session through all
+// six algorithms and all three direction policies, twice per
+// combination, and demands outputs bit-identical to a fresh one-shot
+// BFS — distances, parents, work counters, and simulated clocks alike.
+// The second pass reuses every engine the first pass built (arenas
+// warm, direction policies crossing on the same engine).
+func TestSessionReuseBitIdentical(t *testing.T) {
+	g := testGraph(t)
+	srcs := g.Sources(2, 0x5e55)
+	if len(srcs) < 2 {
+		t.Fatal("need two sources")
+	}
+	sess := NewSession()
+	defer sess.Close()
+	for pass := 0; pass < 2; pass++ {
+		src := srcs[pass]
+		for _, algo := range sessionAlgorithms {
+			for _, dir := range []Direction{Auto, TopDownOnly, BottomUpOnly} {
+				opt := Options{Algorithm: algo, Ranks: 4, Machine: "franklin", Direction: dir}
+				label := algo.String() + "/" + dir.String()
+				fresh, err := g.BFS(src, opt)
+				if err != nil {
+					t.Fatalf("%s: fresh BFS: %v", label, err)
+				}
+				reused, err := sess.Search(g, src, opt)
+				if err != nil {
+					t.Fatalf("%s: session search: %v", label, err)
+				}
+				sameResult(t, label, fresh, reused)
+				if err := g.Validate(reused); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionAcrossScales rebinds the engines of one session to graphs
+// of different scales (bigger, then smaller, then back), so every
+// arena must resize correctly in both directions.
+func TestSessionAcrossScales(t *testing.T) {
+	small := testGraph(t)
+	big, err := NewRMATGraph(12, 8, 0xabc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession()
+	defer sess.Close()
+	for _, algo := range []Algorithm{OneDHybrid, TwoDFlat, TwoDHybrid} {
+		for _, dir := range []Direction{Auto, BottomUpOnly} {
+			opt := Options{Algorithm: algo, Ranks: 4, Machine: "franklin", Direction: dir}
+			label := algo.String() + "/" + dir.String()
+			for _, g := range []*Graph{small, big, small, big} {
+				src := g.Sources(1, 7)[0]
+				fresh, err := g.BFS(src, opt)
+				if err != nil {
+					t.Fatalf("%s: fresh BFS: %v", label, err)
+				}
+				reused, err := sess.Search(g, src, opt)
+				if err != nil {
+					t.Fatalf("%s: session search: %v", label, err)
+				}
+				sameResult(t, label, fresh, reused)
+				if err := g.Validate(reused); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionOneDistributePerConfig is the acceptance assertion: a
+// whole Graph 500 batch pays for exactly one distribution per engine
+// configuration, repeated searches and direction changes pay none, and
+// a layout change pays exactly one more.
+func TestSessionOneDistributePerConfig(t *testing.T) {
+	g := testGraph(t)
+	before := distributions.Load()
+	if _, err := g.Benchmark(Options{Algorithm: TwoDFlat, Ranks: 4, Machine: "franklin"}, 5, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	if got := distributions.Load() - before; got != 1 {
+		t.Errorf("5-search benchmark performed %d distributions, want 1", got)
+	}
+
+	sess := NewSession()
+	defer sess.Close()
+	src := g.Sources(1, 1)[0]
+	search := func(opt Options) {
+		t.Helper()
+		if _, err := sess.Search(g, src, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before = distributions.Load()
+	base := Options{Algorithm: OneDFlat, Ranks: 4}
+	search(base)                         // first search: 1 distribution
+	search(base)                         // cached engine
+	search(Options{Algorithm: OneDFlat}) // Ranks 0 normalizes to 4: same engine
+	{
+		// Knobs the 1D driver ignores normalize out of the key.
+		o := base
+		o.Kernel = "heap"
+		search(o)
+		o = base
+		o.DiagonalVectors = true
+		search(o)
+	}
+	for _, dir := range []Direction{TopDownOnly, BottomUpOnly} {
+		o := base
+		o.Direction = dir
+		search(o) // per-search field: same engine
+	}
+	if got := distributions.Load() - before; got != 1 {
+		t.Errorf("one 1D configuration performed %d distributions, want 1", got)
+	}
+	before = distributions.Load()
+	search(Options{Algorithm: OneDFlat, Ranks: 2}) // layout change: new engine
+	if got := distributions.Load() - before; got != 1 {
+		t.Errorf("changed layout performed %d distributions, want 1", got)
+	}
+}
+
+// TestSessionErrors exercises the engine layer's error paths: every bad
+// configuration must surface as an error from Search, never a panic.
+func TestSessionErrors(t *testing.T) {
+	g := testGraph(t)
+	sess := NewSession()
+	src := g.Sources(1, 1)[0]
+	cases := []struct {
+		name string
+		opt  Options
+		want string
+	}{
+		{"non-square 2D ranks", Options{Algorithm: TwoDHybrid, Ranks: 6}, "square"},
+		{"unknown machine", Options{Machine: "nonesuch"}, "machine"},
+		{"unknown kernel", Options{Algorithm: TwoDFlat, Ranks: 4, Kernel: "fast"}, "kernel"},
+		{"diag bottom-up", Options{Algorithm: TwoDFlat, Ranks: 4, DiagonalVectors: true, Direction: BottomUpOnly}, "DiagonalVectors"},
+		{"bad algorithm", Options{Algorithm: Algorithm(99)}, "algorithm"},
+	}
+	for _, c := range cases {
+		if _, err := sess.Search(g, src, c.opt); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	if _, err := sess.Search(g, g.NumVerts(), Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := sess.Search(nil, 0, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	sess.Close()
+	sess.Close() // idempotent
+	if _, err := sess.Search(g, src, Options{}); err == nil {
+		t.Error("search on a closed session accepted")
+	}
+}
+
+// TestSessionDirectedGraphs checks that rebinding between directed and
+// undirected graphs keeps the 1D pull structures honest (Symmetric must
+// track the bound graph, not the engine's first graph).
+func TestSessionDirectedGraphs(t *testing.T) {
+	und := testGraph(t)
+	dir, err := NewDirectedGraph(6, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession()
+	defer sess.Close()
+	opt := Options{Algorithm: OneDFlat, Ranks: 4, Direction: BottomUpOnly}
+	for _, g := range []*Graph{und, dir, und, dir} {
+		src := g.Sources(1, 3)[0]
+		fresh, err := g.BFS(src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := sess.Search(g, src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "directed/undirected rebind", fresh, reused)
+		if err := g.Validate(reused); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
