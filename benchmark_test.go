@@ -39,8 +39,8 @@ func TestBenchmarkDefaultsAndErrors(t *testing.T) {
 		t.Errorf("default searches = %d, want 16", st.NumSearches)
 	}
 	// A bad option surfaces as an error, not a panic.
-	if _, err := g.Benchmark(Options{Algorithm: TwoDFlat, Ranks: 7}, 2, 1); err == nil {
-		t.Error("non-square 2D benchmark accepted")
+	if _, err := g.Benchmark(Options{Algorithm: TwoDFlat, Ranks: 7, GridRows: 3}, 2, 1); err == nil {
+		t.Error("ranks not factorable into the requested grid accepted")
 	}
 }
 

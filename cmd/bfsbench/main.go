@@ -41,6 +41,12 @@ func main() {
 		benchScale = flag.Int("bench-scale", 16, "R-MAT scale for -bench-out")
 	)
 	flag.Parse()
+	if *benchScale < 4 || *benchScale > 24 {
+		// Below scale 4 the 16-rank instances degenerate (fewer vertices
+		// than ranks); above 24 a laptop-scale wall-clock run is not
+		// meaningful.
+		fatal(fmt.Errorf("-bench-scale %d out of supported range [4, 24]", *benchScale))
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro"
 	"repro/internal/graph500"
@@ -36,7 +38,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "graph seed")
 		web        = flag.Bool("web", false, "use the high-diameter web-crawl generator instead of R-MAT")
 		algoName   = flag.String("algo", "2d", "algorithm: 1d, 1d-hybrid, 2d, 2d-hybrid, reference, pbgl")
-		ranks      = flag.Int("ranks", 16, "emulated rank count (2D variants need a perfect square)")
+		ranks      = flag.Int("ranks", 16, "emulated rank count (2D variants run on the closest-square grid unless -grid is given)")
+		gridFlag   = flag.String("grid", "", "2D process grid shape PRxPC (e.g. 2x3); must factor -ranks; empty = closest square")
 		threads    = flag.Int("threads", 0, "threads per rank (0 = machine default for hybrid variants)")
 		machine    = flag.String("machine", "franklin", "cost model: franklin, hopper, carver, or '' for none")
 		kernel     = flag.String("kernel", "auto", "local SpMSV kernel for 2D: auto, spa, heap")
@@ -58,8 +61,26 @@ func main() {
 		fatal(fmt.Errorf("unknown direction %q", *direction))
 	}
 
+	gridRows, gridCols, err := parseGrid(*gridFlag)
+	if err != nil {
+		fatal(err)
+	}
+	// For the 2D variants, a fully specified -grid implies its own rank
+	// count; only an explicit -ranks may contradict it (and then must
+	// factor). Other algorithms ignore the grid shape entirely, so it
+	// must not silently change their rank count either.
+	ranksSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ranks" {
+			ranksSet = true
+		}
+	})
+	twoD := algo == pbfs.TwoDFlat || algo == pbfs.TwoDHybrid
+	if !ranksSet && twoD && gridRows > 0 && gridCols > 0 {
+		*ranks = gridRows * gridCols
+	}
+
 	var g *pbfs.Graph
-	var err error
 	if *web {
 		g, err = pbfs.NewWebCrawlGraph(int64(1)<<uint(*scale), *seed)
 	} else {
@@ -83,6 +104,7 @@ func main() {
 	for i, src := range keys {
 		res, err := sess.Search(g, src, pbfs.Options{
 			Algorithm: algo, Ranks: *ranks, Threads: *threads,
+			GridRows: gridRows, GridCols: gridCols,
 			Machine: *machine, Kernel: *kernel, Direction: dir, Trace: *trace,
 		})
 		if err != nil {
@@ -143,6 +165,25 @@ func main() {
 			fmt.Printf("  comm time mean     %.6f s\n", st.MeanCommTime)
 		}
 	}
+}
+
+// parseGrid parses a "PRxPC" grid-shape flag value; empty means derive
+// the shape from the rank count (the closest-square factorization).
+func parseGrid(s string) (pr, pc int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	lo, hi, ok := strings.Cut(strings.ToLower(s), "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -grid %q: want PRxPC, e.g. 2x3", s)
+	}
+	if pr, err = strconv.Atoi(lo); err == nil {
+		pc, err = strconv.Atoi(hi)
+	}
+	if err != nil || pr < 1 || pc < 1 {
+		return 0, 0, fmt.Errorf("bad -grid %q: want two positive integers PRxPC", s)
+	}
+	return pr, pc, nil
 }
 
 func fatal(err error) {

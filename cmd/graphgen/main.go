@@ -30,6 +30,12 @@ func main() {
 		verify     = flag.String("verify", "", "read an edge file and print its header instead of generating")
 	)
 	flag.Parse()
+	if *scale < 1 || *scale > 30 {
+		fatal(fmt.Errorf("-scale %d out of supported range [1, 30]", *scale))
+	}
+	if *edgeFactor < 1 {
+		fatal(fmt.Errorf("-edgefactor %d must be positive", *edgeFactor))
+	}
 
 	if *verify != "" {
 		el, err := edgefile.ReadFile(*verify)

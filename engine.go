@@ -23,6 +23,7 @@ import (
 type layout struct {
 	algo    Algorithm
 	ranks   int
+	pr, pc  int // resolved 2D grid shape; zero for non-2D algorithms
 	threads int
 	machine string
 	kernel  spmat.Kernel
@@ -31,7 +32,8 @@ type layout struct {
 
 // resolveLayout validates and normalizes Options into a layout, so that
 // defaulted and explicit spellings of the same configuration (Ranks 0
-// vs 4, Kernel "" vs "auto") land on the same engine.
+// vs 4, Kernel "" vs "auto", GridRows/GridCols 0 vs the closest-square
+// factorization) land on the same engine.
 func resolveLayout(opt Options) (layout, error) {
 	switch opt.Algorithm {
 	case OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid, Reference, PBGL:
@@ -44,8 +46,15 @@ func resolveLayout(opt Options) (layout, error) {
 		machine: opt.Machine,
 		diag:    opt.DiagonalVectors,
 	}
+	twoD := opt.Algorithm == TwoDFlat || opt.Algorithm == TwoDHybrid
 	if lay.ranks < 1 {
-		lay.ranks = 4
+		// A fully specified grid implies its own rank count; otherwise
+		// fall back to the library default.
+		if twoD && opt.GridRows > 0 && opt.GridCols > 0 {
+			lay.ranks = opt.GridRows * opt.GridCols
+		} else {
+			lay.ranks = 4
+		}
 	}
 	var machine *netmodel.Machine
 	if opt.Machine != "" {
@@ -76,15 +85,40 @@ func resolveLayout(opt Options) (layout, error) {
 	default:
 		return layout{}, fmt.Errorf("pbfs: unknown kernel %q (want auto, spa or heap)", opt.Kernel)
 	}
-	// Only the 2D drivers consume the kernel and vector-distribution
-	// knobs; dropping them from other algorithms' keys keeps a session
-	// from building redundant engines (and paying duplicate
-	// distributions) for configurations that run the same search.
-	// DiagonalVectors still reaches resolveDirection per search, where
-	// it forces top-down exactly as before. Threads stays in every key:
-	// it feeds the shared-machine cost model even for the flat and
-	// comparator codes.
-	if opt.Algorithm != TwoDFlat && opt.Algorithm != TwoDHybrid {
+	// Only the 2D drivers consume the kernel, grid-shape, and
+	// vector-distribution knobs; dropping them from other algorithms'
+	// keys keeps a session from building redundant engines (and paying
+	// duplicate distributions) for configurations that run the same
+	// search. DiagonalVectors still reaches resolveDirection per
+	// search, where it forces top-down exactly as before. Threads stays
+	// in every key: it feeds the shared-machine cost model even for the
+	// flat and comparator codes.
+	if twoD {
+		pr, pc := opt.GridRows, opt.GridCols
+		switch {
+		case pr == 0 && pc == 0:
+			pr, pc = cluster.ClosestSquare(lay.ranks)
+		case pr > 0 && pc == 0 && lay.ranks%pr == 0:
+			pc = lay.ranks / pr
+		case pc > 0 && pr == 0 && lay.ranks%pc == 0:
+			pr = lay.ranks / pc
+		}
+		if pr < 1 || pc < 1 || pr*pc != lay.ranks {
+			req := fmt.Sprintf("%dx%d", opt.GridRows, opt.GridCols)
+			switch {
+			case opt.GridRows > 0 && opt.GridCols == 0:
+				req = fmt.Sprintf("GridRows=%d", opt.GridRows)
+			case opt.GridCols > 0 && opt.GridRows == 0:
+				req = fmt.Sprintf("GridCols=%d", opt.GridCols)
+			}
+			return layout{}, fmt.Errorf("pbfs: %d ranks not factorable into the requested grid (%s)",
+				lay.ranks, req)
+		}
+		if lay.diag && pr != pc {
+			return layout{}, fmt.Errorf("pbfs: DiagonalVectors requires a square grid, got %dx%d", pr, pc)
+		}
+		lay.pr, lay.pc = pr, pc
+	} else {
 		lay.kernel = spmat.KernelAuto
 		lay.diag = false
 	}
@@ -161,16 +195,12 @@ func newEngine(lay layout, g *Graph) (engine, error) {
 	case Reference, PBGL:
 		e = &engineBase{lay: lay, w: cluster.NewWorld(lay.ranks, model), price: price}
 	case TwoDFlat, TwoDHybrid:
-		pr := isqrt(lay.ranks)
-		if pr*pr != lay.ranks {
-			return nil, fmt.Errorf("pbfs: 2D algorithms need a square rank count, got %d", lay.ranks)
-		}
 		w := cluster.NewWorld(lay.ranks, model)
 		vec := bfs2d.Dist2D
 		if lay.diag {
 			vec = bfs2d.DistDiag
 		}
-		e = &engine2D{lay: lay, pr: pr, w: w, grid: cluster.NewGrid(w, pr, pr), vec: vec, price: price}
+		e = &engine2D{lay: lay, w: w, grid: cluster.NewGrid(w, lay.pr, lay.pc), vec: vec, price: price}
 	default:
 		return nil, fmt.Errorf("pbfs: unknown algorithm %v", lay.algo)
 	}
@@ -243,11 +273,11 @@ func (e *engine1D) search(source int64, opt Options) (*Result, error) {
 
 func (e *engine1D) close() { e.arena.Close() }
 
-// engine2D drives the 2D checkerboard algorithms. It owns the grid's
-// row/column communicators in addition to the world.
+// engine2D drives the 2D checkerboard algorithms on the layout's pr×pc
+// grid. It owns the grid's row/column subcommunicators in addition to
+// the world.
 type engine2D struct {
 	lay   layout
-	pr    int
 	g     *Graph
 	dg    *bfs2d.Graph
 	w     *cluster.World
@@ -260,7 +290,7 @@ type engine2D struct {
 func (e *engine2D) boundTo() *Graph { return e.g }
 
 func (e *engine2D) rebind(g *Graph) error {
-	dg, err := bfs2d.Distribute(g.el, e.pr, e.pr, e.lay.threads)
+	dg, err := bfs2d.Distribute(g.el, e.lay.pr, e.lay.pc, e.lay.threads)
 	if err != nil {
 		return err
 	}
@@ -338,11 +368,3 @@ func (e *engineBase) search(source int64, opt Options) (*Result, error) {
 }
 
 func (e *engineBase) close() {}
-
-func isqrt(n int) int {
-	r := 0
-	for (r+1)*(r+1) <= n {
-		r++
-	}
-	return r
-}

@@ -17,7 +17,7 @@ import (
 func main() {
 	var (
 		scale = flag.Int("scale", 14, "R-MAT scale")
-		ranks = flag.Int("ranks", 16, "emulated ranks (perfect square)")
+		ranks = flag.Int("ranks", 16, "emulated ranks (2D variants run on the closest-square grid)")
 		algoF = flag.String("algo", "2d-hybrid", "1d, 1d-hybrid, 2d, or 2d-hybrid")
 	)
 	flag.Parse()

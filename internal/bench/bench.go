@@ -33,7 +33,7 @@ import (
 type EmuConfig struct {
 	Machine *netmodel.Machine
 	Algo    perfmodel.Algo
-	Ranks   int // emulated rank count (2D variants require a perfect square)
+	Ranks   int // emulated rank count (2D variants run on its closest-square grid)
 	Threads int // 0/1 flat; >1 hybrid strip/buffer threading
 	Kernel  spmat.Kernel
 	// Vector selects the 2D vector distribution (bfs2d.Dist2D default, or
@@ -78,16 +78,15 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 	// Distribute once, as a real benchmark would.
 	var g1 *bfs1d.Graph
 	var g2 *bfs2d.Graph
-	var pr int
+	var pr, pc int
 	switch cfg.Algo {
 	case perfmodel.OneDFlat, perfmodel.OneDHybrid, perfmodel.Reference, perfmodel.PBGL:
 		g1, err = bfs1d.Distribute(el, cfg.Ranks)
 	case perfmodel.TwoDFlat, perfmodel.TwoDHybrid:
-		pr = isqrt(cfg.Ranks)
-		if pr*pr != cfg.Ranks {
-			return nil, fmt.Errorf("bench: 2D emulation needs square rank count, got %d", cfg.Ranks)
-		}
-		g2, err = bfs2d.Distribute(el, pr, pr, threads)
+		// The emulated 2D driver accepts any factorization; use the
+		// paper's closest-square grid for the rank count.
+		pr, pc = cluster.ClosestSquare(cfg.Ranks)
+		g2, err = bfs2d.Distribute(el, pr, pc, threads)
 	default:
 		return nil, fmt.Errorf("bench: unsupported algorithm %v", cfg.Algo)
 	}
@@ -105,7 +104,7 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 	w := cluster.NewWorld(cfg.Ranks, machine)
 	var grid *cluster.Grid
 	if g2 != nil {
-		grid = cluster.NewGrid(w, pr, pr)
+		grid = cluster.NewGrid(w, pr, pc)
 	}
 	var arena1 bfs1d.Arena
 	var arena2 bfs2d.Arena
@@ -166,15 +165,6 @@ func RunEmulated(el *graph.EdgeList, cfg EmuConfig) (*EmuResult, error) {
 	}
 	res.Stats = graph500.Summarize(runs)
 	return res, nil
-}
-
-// isqrt returns the integer square root of n.
-func isqrt(n int) int {
-	r := 0
-	for (r+1)*(r+1) <= n {
-		r++
-	}
-	return r
 }
 
 // rmatEdges generates the undirected, relabeled R-MAT instance used by

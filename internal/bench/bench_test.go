@@ -47,16 +47,25 @@ func TestRunEmulatedAllAlgos(t *testing.T) {
 	}
 }
 
-func TestRunEmulatedRejectsNonSquare2D(t *testing.T) {
+func TestRunEmulatedRectangular2D(t *testing.T) {
+	// A non-square rank count runs on its closest-square factorization
+	// (6 -> 2x3) and validates against the serial oracle.
 	el, err := rmatEdges(10, 8, 0x3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = RunEmulated(el, EmuConfig{
+	res, err := RunEmulated(el, EmuConfig{
 		Machine: netmodel.Franklin(), Algo: perfmodel.TwoDFlat, Ranks: 6, Sources: 1,
+		Validate: true,
 	})
-	if err == nil || !strings.Contains(err.Error(), "square") {
-		t.Errorf("expected square-grid error, got %v", err)
+	if err != nil {
+		t.Fatalf("rectangular 2D emulation failed: %v", err)
+	}
+	if res.Stats.HarmonicMeanTEPS <= 0 {
+		t.Errorf("empty stats %+v", res.Stats)
+	}
+	if len(res.PerRankComm) != 6 {
+		t.Errorf("per-rank comm has %d entries, want 6", len(res.PerRankComm))
 	}
 }
 

@@ -36,8 +36,8 @@ func projectSeries(w io.Writer, m *netmodel.Machine, wl perfmodel.Workload, core
 }
 
 // emulateSeries runs the four variants over emulated rank counts and
-// prints simulated GTEPS (or comm time). 2D points use the nearest
-// perfect square of ranks.
+// prints simulated GTEPS (or comm time). 2D points run on the closest
+// square factorization of the rank count.
 func emulateSeries(w io.Writer, m *netmodel.Machine, scale, ef int, ranks []int, sources int, commTime bool) error {
 	el, err := rmatEdges(scale, ef, 0x5ca1e)
 	if err != nil {

@@ -40,8 +40,8 @@ type Options struct {
 	// dirheur.ModeAuto applies the Beamer alpha/beta heuristic and runs
 	// the dense middle levels bottom-up over the in-adjacency;
 	// dirheur.ModeBottomUp pulls every level. Bottom-up levels exchange
-	// the frontier as a dense bitmap (cluster.AllgatherBits) instead of
-	// the sparse all-to-all.
+	// the frontier as a dense bitmap assembled from owned word chunks
+	// (cluster.AllgatherBitsBlocks) instead of the sparse all-to-all.
 	Direction dirheur.Mode
 	// Policy overrides the direction-switch thresholds; zero fields fall
 	// back to dirheur.DefaultPolicy.
@@ -257,6 +257,14 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 		mode := opt.Direction
 		dirm := dirheur.New(mode, opt.Policy, pt.N, g.TotalAdj)
 		bitmapWords := (pt.N + 63) / 64
+		// The rank's deposit in the bitmap exchange is the word range
+		// covering its owned vertices: the collective assembles the
+		// global bitmap from the p owned chunks (an allgatherv, exactly
+		// how MPI codes move the dense frontier) instead of OR-ing p
+		// full-length contributions. The 1D pull scans in-edges from
+		// every column, so unlike the 2D driver's partitioned slices the
+		// assembled frontier must stay global here.
+		ownWLo, ownWHi := start/64, (start+nloc+63)/64
 		var front, chunk, ownVis *bits.Bitmap
 		var inPull *spmat.PullCSR
 		// enterBottomUp converts the rank to pull state at a level
@@ -280,7 +288,8 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 			for _, vl := range newFront {
 				chunk.Set(start + vl)
 			}
-			front.CopyFrom(world.AllgatherBits(r, chunk.Words(), "bitmap"))
+			front.CopyFrom(world.AllgatherBitsBlocks(r,
+				chunk.Words()[ownWLo:ownWHi], ownWLo, bitmapWords, "bitmap"))
 			r.ChargeMem(price, 0, 0, nloc+int64(len(newFront))+3*bitmapWords, 0)
 		}
 		cur := dirm.Direction()
@@ -300,8 +309,10 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 				// one aligned chunk of the owned range per worker into
 				// thread-local candidate vectors; the serial apply then
 				// commits them in chunk order, so outputs are identical
-				// to the flat scan.
-				chunk.Reset()
+				// to the flat scan. Only the owned word range of the
+				// contribution bitmap is ever set, so only it needs
+				// clearing.
+				bits.ClearWords(chunk.Words()[ownWLo:ownWHi])
 				var scanned, newCount int64
 				apply := func(lo int64, cand *spvec.Vec) {
 					for k, rl := range cand.Ind {
@@ -357,9 +368,11 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 
 				// ---- Dense frontier exchange (bitmap allgather) ----
 				// Replaces the sparse all-to-all: the new frontier moves
-				// as one N-bit bitmap, and termination needs no extra
-				// allreduce — every rank counts the same combined bitmap.
-				front.CopyFrom(world.AllgatherBits(r, chunk.Words(), "bitmap"))
+				// as one N-bit bitmap assembled from owned word chunks,
+				// and termination needs no extra allreduce — every rank
+				// counts the same combined bitmap.
+				front.CopyFrom(world.AllgatherBitsBlocks(r,
+					chunk.Words()[ownWLo:ownWHi], ownWLo, bitmapWords, "bitmap"))
 				totalNew = front.Count()
 				r.ChargeMem(price, 0, 0, 3*bitmapWords, 0)
 			} else {

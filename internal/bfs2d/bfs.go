@@ -2,6 +2,8 @@ package bfs2d
 
 import (
 	"fmt"
+	mbits "math/bits"
+	"slices"
 
 	"repro/internal/bits"
 	"repro/internal/cluster"
@@ -69,21 +71,28 @@ type Arena struct {
 
 // rankArena is one rank's scratch: the distance/parent working arrays
 // (copied into the Output at assembly, so safely recycled), the frontier
-// double buffer, fold send buffers, kernel scratches, the strip worker
-// team, and the vectors of the level loop.
+// double buffer, fold send buffers, the rectangular transpose remap
+// buffers, kernel scratches, the strip worker team, and the vectors of
+// the level loop.
 type rankArena struct {
 	dist, parent          []int64
 	frontBuf              [2][]int64
 	send                  [][]int64
+	sendT                 [][]int64 // rectangular transpose: per-world-rank routing buffers
+	moved                 []int64   // rectangular transpose: collected sub-piece entries
 	pairs                 []int64
 	localF, spOut, merged spvec.Vec
 	rowScratch            spmat.RowScratch
 	mergeScratch          spvec.MergeScratch
 	pool                  *smp.Pool
-	// Bottom-up state: the global frontier and visited bitmaps, the
-	// rank's all-gather contribution, and the strip pull scratch.
-	front, chunk, vis *bits.Bitmap
-	pullScratch       spmat.PullScratch
+	// Bottom-up state: the frontier bitmap sliced to this rank's block
+	// column (front), the row-block frontier assembled along the row
+	// subcommunicator (rowFront), the row-block visited slice (vis),
+	// the rank's owned-bit contribution (chunk), and the strip pull
+	// scratch. All four bitmaps are N bits for global indexing, but
+	// only the named slices are exchanged or read.
+	front, rowFront, chunk, vis *bits.Bitmap
+	pullScratch                 spmat.PullScratch
 }
 
 // team returns the rank's persistent worker pool at width t, recycling
@@ -132,19 +141,16 @@ type Output struct {
 const threadBarrierOps = 4000
 
 // Run executes a BFS from source on a grid of pr*pc ranks. The grid must
-// match the distribution of g, and must be square (the configuration the
-// paper evaluates; rectangular grids are handled by the analytic model
-// only). Violated entry preconditions are reported as errors, never
-// panics, so engines can surface a bad rank count to their callers.
+// match the distribution of g; any rectangular pr×pc layout is accepted
+// (square grids use the paper's pairwise transpose, rectangular ones an
+// all-to-all remap exchange — see TransposeOwner). Violated entry
+// preconditions are reported as errors, never panics, so engines can
+// surface a bad rank count to their callers.
 func Run(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Options) (*Output, error) {
 	pt := g.Part
 	if grid.Pr != pt.Pr || grid.Pc != pt.Pc {
 		return nil, fmt.Errorf("bfs2d: %dx%d grid does not match %dx%d distribution",
 			grid.Pr, grid.Pc, pt.Pr, pt.Pc)
-	}
-	if !grid.Square() {
-		return nil, fmt.Errorf("bfs2d: emulated 2D BFS requires a square grid, got %dx%d",
-			grid.Pr, grid.Pc)
 	}
 	if w.P != grid.Pr*grid.Pc {
 		return nil, fmt.Errorf("bfs2d: world of %d ranks does not match %dx%d grid",
@@ -161,6 +167,12 @@ func Run(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, opt Optio
 			// The diagonal layout exists to reproduce the Figure 4
 			// imbalance experiment; it has no pull path.
 			return nil, fmt.Errorf("bfs2d: diagonal vector distribution is top-down only")
+		}
+		if !grid.Square() {
+			// Vector block i lives on P(i,i): the layout only exists on
+			// square grids (as in the paper's Figure 4 experiment).
+			return nil, fmt.Errorf("bfs2d: diagonal vector distribution requires a square grid, got %dx%d",
+				grid.Pr, grid.Pc)
 		}
 		return runDiagVector(w, grid, g, source, opt), nil
 	}
@@ -259,35 +271,85 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 		}
 		send := ar.send
 
+		// Rectangular grids route the transpose through per-world-rank
+		// buffers (see the top-down branch below).
+		square := grid.Square()
+		if !square && len(ar.sendT) != p {
+			ar.sendT = make([][]int64, p)
+		}
+		sendT := ar.sendT
+
 		mode := opt.Direction
 		dirm := dirheur.New(mode, opt.Policy, pt.N, totalAdj)
-		bitmapWords := (pt.N + 63) / 64
-		var front, chunkBM, vis *bits.Bitmap
+		// Word ranges of the partitioned bitmap exchange: the rank's
+		// owned piece (its deposit), its row block (the visited slice
+		// and the row-subcommunicator exchange), and its block column
+		// (the pull probe range and the column-subcommunicator
+		// exchange). Padding to word boundaries makes adjacent deposits
+		// overlap by at most one word, which the collective's OR merge
+		// absorbs.
+		colHi := pt.ColStart(j + 1)
+		ownWLo, ownWHi := vLo/64, (vHi+63)/64
+		rowWLo, rowWHi := rowLo/64, (rowHi+63)/64
+		colWLo, colWHi := colLo/64, (colHi+63)/64
+		rowWords, colWords := rowWHi-rowWLo, colWHi-colWLo
+		var front, rowFront, chunkBM, vis *bits.Bitmap
+		// exchangeFrontier moves the owned new-frontier bits (set in
+		// chunkBM) through the two grid subcommunicator exchanges: the
+		// row allgather assembles the full frontier of this row block
+		// from its pc owned pieces (which also feeds the visited slice),
+		// then the column allgather assembles this rank's block-column
+		// slice from the row-block intersections held by the pr column
+		// members. Per-rank traffic is O(n/pr + n/pc) words instead of
+		// the dense n/64-word world bitmap.
+		exchangeFrontier := func() {
+			rowSlice := rowG.AllgatherBitsBlocks(r,
+				chunkBM.Words()[ownWLo:ownWHi], ownWLo-rowWLo, rowWords, "bitmap")
+			copy(rowFront.Words()[rowWLo:rowWHi], rowSlice)
+			iLo, iHi := rowWLo, rowWHi
+			if colWLo > iLo {
+				iLo = colWLo
+			}
+			if colWHi < iHi {
+				iHi = colWHi
+			}
+			var dep []uint64
+			var off int64
+			if iLo < iHi { // this row block intersects my block column
+				dep, off = rowFront.Words()[iLo:iHi], iLo-colWLo
+			}
+			colSlice := colG.AllgatherBitsBlocks(r, dep, off, colWords, "bitmap")
+			copy(front.Words()[colWLo:colWHi], colSlice)
+			r.ChargeMem(price, 0, 0, 2*(rowWords+colWords), 0)
+		}
 		// enterBottomUp converts the rank to pull state at a level
 		// boundary: the owned slices of the visited set and the current
-		// frontier are densified into bitmaps, and two bitmap exchanges
-		// give every rank the global views. (Unlike the 1D driver, the
-		// visited set must be global here: a rank scans every row of its
-		// block, most of which are owned by other ranks in its process
-		// row.) All ranks decide from the same global statistics, so the
-		// collective schedules stay aligned.
+		// frontier are densified into bitmaps and exchanged along the
+		// grid subcommunicators. (Unlike the 1D driver, the visited
+		// slice must span the whole row block: a rank scans every row of
+		// its block, most of which are owned by other ranks in its
+		// process row.) All ranks decide from the same global
+		// statistics, so the collective schedules stay aligned.
 		enterBottomUp := func() {
 			front = bits.Grown(ar.front, pt.N)
+			rowFront = bits.Grown(ar.rowFront, pt.N)
 			chunkBM = bits.Grown(ar.chunk, pt.N)
 			vis = bits.Grown(ar.vis, pt.N)
-			ar.front, ar.chunk, ar.vis = front, chunkBM, vis
+			ar.front, ar.rowFront, ar.chunk, ar.vis = front, rowFront, chunkBM, vis
 			for k := range dist {
 				if dist[k] != serial.Unreached {
 					chunkBM.Set(vLo + int64(k))
 				}
 			}
-			vis.CopyFrom(world.AllgatherBits(r, chunkBM.Words(), "bitmap"))
-			chunkBM.Reset()
+			visSlice := rowG.AllgatherBitsBlocks(r,
+				chunkBM.Words()[ownWLo:ownWHi], ownWLo-rowWLo, rowWords, "bitmap")
+			copy(vis.Words()[rowWLo:rowWHi], visSlice)
+			bits.ClearWords(chunkBM.Words()[ownWLo:ownWHi])
 			for _, gv := range frontier {
 				chunkBM.Set(gv)
 			}
-			front.CopyFrom(world.AllgatherBits(r, chunkBM.Words(), "bitmap"))
-			r.ChargeMem(price, 0, 0, nOwn+int64(len(frontier))+6*bitmapWords, 0)
+			exchangeFrontier()
+			r.ChargeMem(price, 0, 0, nOwn+int64(len(frontier))+2*rowWords, 0)
 		}
 		cur := dirm.Direction()
 		if cur == dirheur.BottomUp {
@@ -299,19 +361,20 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			var totalNew, mfLocal, levScan int64
 			if cur == dirheur.BottomUp {
 				// ---- Bottom-up pull (replaces lines 5-7) ----
-				// No transpose, no expand: every rank already holds the
-				// global frontier bitmap. Each strip scans its block's
-				// unvisited rows and emits at most one parent candidate
-				// per row (early exit at the first frontier in-edge).
-				chunkBM.Reset()
+				// No transpose, no expand: the rank already holds its
+				// block-column slice of the frontier bitmap. Each strip
+				// scans its block's unvisited rows and emits at most one
+				// parent candidate per row (early exit at the first
+				// frontier in-edge).
 				scanned := pulls[i][j].Pull(spOut, front, vis, rowLo, colLo, pool, &ar.pullScratch)
 				scannedBU[me] += scanned
 				levScan = scanned
-				// Charge the pull: one random frontier-bitmap probe per
-				// scanned entry, the adjacency stream, one visited probe
-				// per block row, plus the hybrid concatenation barrier.
+				// Charge the pull: one random probe into the
+				// block-column frontier slice per scanned entry, the
+				// adjacency stream, one visited probe per block row,
+				// plus the hybrid concatenation barrier.
 				if price != nil {
-					par := price.MemCost(scanned+(rowHi-rowLo), bitmapWords, scanned, scanned)
+					par := price.MemCost(scanned+(rowHi-rowLo), colWords, scanned, scanned)
 					serialOverhead := 0.0
 					if t > 1 {
 						serialOverhead = price.MemCost(0, 0, int64(spOut.NNZ()), threadBarrierOps)
@@ -320,9 +383,40 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 				}
 			} else {
 				// ---- TransposeVector (Algorithm 3 line 5) ----
-				// My piece (block i, piece j) moves to P(j,i), so process
-				// column i collectively receives vector block i.
-				transposed := grid.All.SendRecvAll(r, grid.TransposePeer, frontier, "transpose")
+				var transposed []int64
+				if square {
+					// My piece (block i, piece j) moves to P(j,i), so
+					// process column i collectively receives vector
+					// block i through the pairwise involution exchange.
+					transposed = grid.All.SendRecvAll(r, grid.TransposePeer, frontier, "transpose")
+				} else {
+					// Rectangular remap: P(i,j) -> P(j,i) is no longer an
+					// involution, so each frontier vertex routes to the
+					// grid process collecting its sub-piece of its column
+					// block (Part2D.TransposeOwner); sorting the
+					// collected entries restores the ascending order the
+					// expand's merge-join kernel relies on. Buffers are
+					// reused per level with the fold's read-before-next-
+					// collective discipline.
+					for k := range sendT {
+						sendT[k] = sendT[k][:0]
+					}
+					for _, gv := range frontier {
+						ti, tj := pt.TransposeOwner(gv)
+						sendT[ti*grid.Pc+tj] = append(sendT[ti*grid.Pc+tj], gv)
+					}
+					parts := grid.All.Alltoallv(r, sendT, "transpose")
+					moved := ar.moved[:0]
+					for _, part := range parts {
+						moved = append(moved, part...)
+					}
+					slices.Sort(moved)
+					ar.moved = moved
+					transposed = moved
+					mv := int64(len(moved))
+					r.ChargeMem(price, 0, 0, int64(len(frontier))+2*mv,
+						int64(len(frontier))+mv*int64(mbits.Len64(uint64(mv))))
+				}
 
 				// ---- Expand: Allgatherv along the process column (line 6) ----
 				parts := colG.Allgatherv(r, transposed, "expand")
@@ -410,21 +504,14 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			}
 
 			// ---- Termination (implicit in line 4) ----
-			if cur == dirheur.BottomUp {
-				// Dense frontier exchange: the new frontier moves as one
-				// N-bit bitmap, every rank folds it into its visited set,
-				// and termination needs no extra allreduce — all ranks
-				// count the same combined bitmap.
-				for _, gv := range frontier {
-					chunkBM.Set(gv)
-				}
-				front.CopyFrom(world.AllgatherBits(r, chunkBM.Words(), "bitmap"))
-				vis.Or(front.Words())
-				totalNew = front.Count()
-				r.ChargeMem(price, 0, 0, int64(len(frontier))+4*bitmapWords, 0)
-			} else {
-				totalNew = world.AllreduceSum(r, int64(len(frontier)), "allreduce")
-			}
+			// Both directions count the same owned discovery lists: with
+			// the frontier bitmap partitioned across the grid
+			// subcommunicators, no rank holds a global bitmap to count,
+			// so bottom-up levels terminate through the same allreduce
+			// as top-down ones (the statistic the direction heuristic
+			// consumes anyway; its value equals the old global bitmap
+			// count, so traces are unchanged).
+			totalNew = world.AllreduceSum(r, int64(len(frontier)), "allreduce")
 			if opt.Trace {
 				levelScan[me] = append(levelScan[me], levScan)
 				if me == 0 {
@@ -439,18 +526,29 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			}
 
 			// ---- Direction decision for the next level ----
+			next := cur
 			if mode == dirheur.ModeAuto {
 				mf := world.AllreduceSum(r, mfLocal, "allreduce")
-				if next := dirm.Advance(totalNew, mf); next != cur {
-					if next == dirheur.BottomUp {
-						enterBottomUp()
-					}
-					// Bottom-up -> top-down needs no conversion: the
-					// sparse owned frontier list is maintained in both
-					// directions.
-					cur = next
-				}
+				next = dirm.Advance(totalNew, mf)
 			}
+			switch {
+			case cur == dirheur.BottomUp && next == dirheur.BottomUp:
+				// Stay bottom-up: move the new frontier through the
+				// partitioned exchange and fold the row-block slice into
+				// the visited slice.
+				bits.ClearWords(chunkBM.Words()[ownWLo:ownWHi])
+				for _, gv := range frontier {
+					chunkBM.Set(gv)
+				}
+				exchangeFrontier()
+				bits.OrWords(vis.Words()[rowWLo:rowWHi], rowFront.Words()[rowWLo:rowWHi])
+				r.ChargeMem(price, 0, 0, int64(len(frontier))+2*rowWords, 0)
+			case cur == dirheur.TopDown && next == dirheur.BottomUp:
+				enterBottomUp()
+			}
+			// Bottom-up -> top-down needs no conversion: the sparse
+			// owned frontier list is maintained in both directions.
+			cur = next
 			level++
 		}
 

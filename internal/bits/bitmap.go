@@ -96,6 +96,25 @@ func (b *Bitmap) CopyFrom(src []uint64) {
 	copy(b.words, src)
 }
 
+// OrWords folds src into dst with bitwise OR, word by word. It is the
+// sub-slice companion of Bitmap.Or for partitioned exchanges that
+// assemble only a word range of a larger bitmap (dst and src must have
+// equal length).
+func OrWords(dst, src []uint64) {
+	if len(src) != len(dst) {
+		panic("bits: OrWords length mismatch")
+	}
+	for i, w := range src {
+		dst[i] |= w
+	}
+}
+
+// ClearWords zeroes a word slice in place; used to recycle the touched
+// word range of a scratch bitmap without paying a full Reset.
+func ClearWords(ws []uint64) {
+	clear(ws)
+}
+
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int64 {
 	var c int64

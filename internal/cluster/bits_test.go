@@ -6,9 +6,11 @@ import (
 	"repro/internal/netmodel"
 )
 
-// TestAllgatherBits checks the OR semantics, the repeated-round buffer
-// recycling, and the volume ledger of the bitmap collective.
-func TestAllgatherBits(t *testing.T) {
+// TestAllgatherBitsBlocksRecycling checks the OR-of-chunks semantics
+// and the repeated-round buffer recycling of the bitmap collective
+// under full-coverage deposits (every member depositing the whole word
+// range, the degenerate everything-overlaps case).
+func TestAllgatherBitsBlocksRecycling(t *testing.T) {
 	const p = 4
 	const words = 8
 	w := NewWorld(p, ZeroCost{})
@@ -20,7 +22,7 @@ func TestAllgatherBits(t *testing.T) {
 			// Member i sets bit i in word round; the OR must carry all
 			// four bits in that word and nothing elsewhere.
 			mine[round] = 1 << uint(r.ID())
-			out := g.AllgatherBits(r, mine, "bitmap")
+			out := g.AllgatherBitsBlocks(r, mine, 0, words, "bitmap")
 			cp := append([]uint64(nil), out...) // copy before next round
 			got[r.ID()] = cp
 		}
@@ -38,39 +40,29 @@ func TestAllgatherBits(t *testing.T) {
 	}
 }
 
-func TestAllgatherBitsPricesAllgather(t *testing.T) {
+// TestAllgatherBitsBlocksPricesAllgather pins the cost and volume
+// ledger of the bitmap collective: one allgather over the group in
+// which each member deposits its chunk and ends with the full bitmap.
+func TestAllgatherBitsBlocksPricesAllgather(t *testing.T) {
 	const p = 4
 	const words = 1024
 	m := netmodel.Franklin()
 	w := NewWorld(p, m)
 	w.Run(func(r *Rank) {
 		g := w.WorldGroup()
-		g.AllgatherBits(r, make([]uint64, words), "bitmap")
+		chunk := int64(words / p)
+		g.AllgatherBitsBlocks(r, make([]uint64, chunk), int64(r.ID())*chunk, words, "bitmap")
 	})
 	st := w.Stats()
 	want := m.Allgatherv(p, words)
 	if got := st.CommByTag["bitmap"]; got != want {
 		t.Errorf("bitmap collective cost %v, want Allgatherv cost %v", got, want)
 	}
-	// Each member logically sends its chunk and receives the rest.
+	// Each member sends its chunk and receives the rest.
 	if st.TotalSent != p*(words/p) {
 		t.Errorf("TotalSent = %d, want %d", st.TotalSent, p*(words/p))
 	}
 	if st.TotalRecvd != p*(words-words/p) {
 		t.Errorf("TotalRecvd = %d, want %d", st.TotalRecvd, p*(words-words/p))
 	}
-}
-
-func TestAllgatherBitsLengthMismatchPoisons(t *testing.T) {
-	const p = 2
-	w := NewWorld(p, ZeroCost{})
-	defer func() {
-		if recover() == nil {
-			t.Error("mismatched word lengths did not surface")
-		}
-	}()
-	w.Run(func(r *Rank) {
-		g := w.WorldGroup()
-		g.AllgatherBits(r, make([]uint64, 4+r.ID()), "bitmap")
-	})
 }

@@ -6,7 +6,14 @@ import "math"
 // mesh, the layout of the 2D BFS (Section 3.2). Rank r sits at row r/Pc,
 // column r%Pc. Rows[i] is the communicator of processor row i (the fold
 // Alltoallv runs there); Cols[j] of processor column j (the expand
-// Allgatherv runs there).
+// Allgatherv and the partitioned bottom-up bitmap exchange run there).
+//
+// Row and column subcommunicators are full Groups: they carry every
+// typed collective, price it on the subgroup size (pc members along a
+// row, pr along a column), and book time and volume into the member
+// ranks' world ledgers — so World.Reset clears subcommunicator traffic
+// too, and Stats/CommTime totals (summed in sorted tag order) include
+// it alongside world-group collectives.
 type Grid struct {
 	Pr, Pc int
 	World  *World
@@ -53,6 +60,16 @@ func NewGrid(w *World, pr, pc int) *Grid {
 	}
 	return g
 }
+
+// RowComm returns the subcommunicator of processor row i: the pc ranks
+// (i, 0..pc-1) in column order. Collectives on it are priced for pc
+// participants and charged to the parent world's ledgers.
+func (g *Grid) RowComm(i int) *Group { return g.Rows[i] }
+
+// ColComm returns the subcommunicator of processor column j: the pr
+// ranks (0..pr-1, j) in row order. Collectives on it are priced for pr
+// participants and charged to the parent world's ledgers.
+func (g *Grid) ColComm(j int) *Group { return g.Cols[j] }
 
 // RowOf returns the grid row of world rank id.
 func (g *Grid) RowOf(id int) int { return id / g.Pc }

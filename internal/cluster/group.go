@@ -9,11 +9,12 @@ import (
 // concrete struct instead of `any` keeps the per-level hot path free of
 // interface boxing: depositing a slice or an integer allocates nothing.
 type payload struct {
-	vec []int64
-	mat [][]int64
-	bm  []uint64
-	num int64
-	f   float64
+	vec  []int64
+	mat  [][]int64
+	bm   []uint64
+	num  int64
+	num2 int64
+	f    float64
 }
 
 // Group is a communicator: an ordered subset of world ranks that perform
@@ -269,43 +270,58 @@ func (g *Group) Allgatherv(r *Rank, send []int64, tag string) [][]int64 {
 	return out
 }
 
-// AllgatherBits is the dense frontier exchange of bottom-up BFS levels:
-// every member contributes an equal-length bitmap word slice with the
-// bits of its owned vertex range set, and every member receives the
-// bitwise OR of all contributions — the global frontier bitmap. Because
-// the owned ranges are disjoint, the operation is semantically an
-// allgather of bitmap chunks, and it is priced as one allgather in
-// which each node ends with the full bitmap. The returned slice follows
-// receive-buffer discipline: it is valid only until the member's next
-// collective on this group and must not be mutated — copy it into
-// rank-owned storage (bits.Bitmap.CopyFrom) before the next operation.
-func (g *Group) AllgatherBits(r *Rank, words []uint64, tag string) []uint64 {
-	n := int64(len(g.members))
-	chunk := (int64(len(words)) + n - 1) / n
-	r.sentWords += chunk
-	out := g.collective(r, payload{bm: words}, tag, func(deposits, results []payload) float64 {
-		if cap(g.orWords) < len(words) {
-			g.orWords = make([]uint64, len(words))
+// AllgatherBitsBlocks is the dense-bitmap exchange of bottom-up BFS
+// levels: member k deposits only the word sub-range [off,
+// off+len(words)) of a bitmap of totalWords words — the words covering
+// its owned bit range — and every member receives the assembled
+// totalWords-word bitmap, the bitwise OR of all deposits. Because
+// owned bit ranges rarely align to 64-bit word boundaries, adjacent
+// members' padded ranges may overlap by one word; the OR merge makes
+// that harmless as long as each member sets only its own bits.
+// Deposits may be empty (a member whose range does not intersect the
+// exchanged window). totalWords must agree across members.
+//
+// This is how MPI codes actually implement the dense frontier exchange
+// (an allgatherv of owned chunks), and it is priced identically: one
+// allgather over the group in which each member ends with the full
+// bitmap. The grid subcommunicator exchanges of the 2D bottom-up phase
+// run it twice per level — once along the row (assembling the row-block
+// frontier from owned pieces) and once along the column (assembling the
+// block-column slice from row-block intersections) — moving O(n/pr +
+// n/pc) words per rank instead of the n/64-word world bitmap. The
+// returned slice follows receive-buffer discipline: valid only until
+// the member's next collective on this group, and must not be mutated.
+func (g *Group) AllgatherBitsBlocks(r *Rank, words []uint64, off, totalWords int64, tag string) []uint64 {
+	// Malformed deposits are detected at completion time, where the
+	// resulting panic poisons the group and surfaces on every
+	// participant instead of stranding them.
+	r.sentWords += int64(len(words))
+	out := g.collective(r, payload{bm: words, num: off, num2: totalWords}, tag, func(deposits, results []payload) float64 {
+		if int64(cap(g.orWords)) < totalWords {
+			g.orWords = make([]uint64, totalWords)
 		}
-		acc := g.orWords[:len(words)]
-		for i := range acc {
-			acc[i] = 0
-		}
+		acc := g.orWords[:totalWords]
+		clear(acc)
 		for i := range deposits {
-			bm := deposits[i].bm
-			if len(bm) != len(words) {
-				panic("cluster: AllgatherBits word-length mismatch across members")
+			if deposits[i].num2 != totalWords {
+				panic("cluster: AllgatherBitsBlocks totalWords mismatch across members")
 			}
-			for k, w := range bm {
-				acc[k] |= w
+			o := deposits[i].num
+			if o < 0 || o+int64(len(deposits[i].bm)) > totalWords {
+				panic("cluster: AllgatherBitsBlocks deposit outside the bitmap")
+			}
+			for k, w := range deposits[i].bm {
+				acc[o+int64(k)] |= w
 			}
 		}
 		for i := range results {
 			results[i] = payload{bm: acc}
 		}
-		return g.world.Model.Allgatherv(len(g.members), int64(len(words)))
+		return g.world.Model.Allgatherv(len(g.members), totalWords)
 	}).bm
-	r.recvWords += int64(len(out)) - chunk
+	if recv := totalWords - int64(len(words)); recv > 0 {
+		r.recvWords += recv
+	}
 	return out
 }
 

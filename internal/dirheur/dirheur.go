@@ -20,7 +20,10 @@
 //
 // Every rank feeds the machine the same globally-reduced statistics, so
 // all ranks take the same decision deterministically and the collective
-// schedules stay aligned.
+// schedules stay aligned. Both drivers obtain (nf, mf) from world-wide
+// allreduces over their owned discovery lists — including on bottom-up
+// levels, where the 2D driver's frontier bitmap is partitioned across
+// grid subcommunicators and no rank holds a global bitmap to count.
 package dirheur
 
 // Direction is the traversal direction of one BFS level.

@@ -72,6 +72,91 @@ func TestDirOptBitmapCrossover(t *testing.T) {
 	}
 }
 
+// bitmapCrossover returns the smallest core count (doubling scan) at
+// which the modeled bitmap phase reaches half the communication time,
+// or maxCores if it never does.
+func bitmapCrossover(wl Workload, m *netmodel.Machine, partitioned bool, maxCores int) int {
+	for cores := 64; cores <= maxCores; cores *= 2 {
+		b := Predict(Config{Machine: m, Cores: cores, Algo: TwoDFlat,
+			DirOpt: true, PartitionedBitmap: partitioned}, wl)
+		if b.Phase["bitmap"] >= b.Comm/2 {
+			return cores
+		}
+	}
+	return maxCores
+}
+
+// TestDirOptPartitionedBitmapCrossover pins the point of the grid
+// subcommunicator exchange: the dense n/64-word bitmap comes to
+// dominate 2D communication at ~1k modeled cores, while the partitioned
+// exchange — whose per-rank volume shrinks as 1/√p — pushes that
+// crossover out by far more than √p (it never dominates up to 2^26
+// cores), and the dense-to-partitioned cost ratio itself grows like √p.
+func TestDirOptPartitionedBitmapCrossover(t *testing.T) {
+	wl := RMATWorkload(32, 16)
+	m := netmodel.Franklin()
+	const maxCores = 1 << 26
+	dense := bitmapCrossover(wl, m, false, maxCores)
+	part := bitmapCrossover(wl, m, true, maxCores)
+	if dense >= maxCores {
+		t.Fatalf("dense bitmap exchange never dominates up to %d cores; crossover test vacuous", maxCores)
+	}
+	// The partitioned crossover must sit at least a factor √p_dense
+	// beyond the dense one.
+	sqrtDense := 1
+	for (sqrtDense+1)*(sqrtDense+1) <= dense {
+		sqrtDense++
+	}
+	if part < dense*sqrtDense {
+		t.Errorf("partitioned crossover %d not >= dense %d shifted by sqrt(p)=%d", part, dense, sqrtDense)
+	}
+	// And the per-point cost ratio grows ~√p: quadrupling the cores
+	// should roughly double the dense/partitioned bitmap-phase ratio.
+	prev := 0.0
+	for _, cores := range []int{4096, 16384, 65536} {
+		d := Predict(Config{Machine: m, Cores: cores, Algo: TwoDFlat, DirOpt: true}, wl)
+		p := Predict(Config{Machine: m, Cores: cores, Algo: TwoDFlat, DirOpt: true, PartitionedBitmap: true}, wl)
+		if p.Phase["bitmap"] <= 0 || p.Phase["bitmap"] >= d.Phase["bitmap"] {
+			t.Fatalf("cores %d: partitioned bitmap %.4g not below dense %.4g",
+				cores, p.Phase["bitmap"], d.Phase["bitmap"])
+		}
+		ratio := d.Phase["bitmap"] / p.Phase["bitmap"]
+		if prev > 0 {
+			if growth := ratio / prev; growth < 1.5 || growth > 4 {
+				t.Errorf("cores %d: ratio growth %.3g per 4x cores, want ~2 (sqrt scaling)", cores, growth)
+			}
+		}
+		prev = ratio
+	}
+	// Totals must still improve: partitioning never makes a projection
+	// slower.
+	for _, cores := range []int{1024, 16384} {
+		d := Predict(Config{Machine: m, Cores: cores, Algo: TwoDFlat, DirOpt: true}, wl)
+		p := Predict(Config{Machine: m, Cores: cores, Algo: TwoDFlat, DirOpt: true, PartitionedBitmap: true}, wl)
+		if p.Total >= d.Total {
+			t.Errorf("cores %d: partitioned total %.4g not below dense %.4g", cores, p.Total, d.Total)
+		}
+	}
+}
+
+// TestPartitionedBitmapIgnoredWithoutDirOpt: PartitionedBitmap without
+// DirOpt (no bitmap phase to partition) and on 1D variants (whose pull
+// needs the global bitmap) must not change the projection.
+func TestPartitionedBitmapIgnoredWithoutDirOpt(t *testing.T) {
+	wl := RMATWorkload(32, 16)
+	m := netmodel.Franklin()
+	base := Predict(Config{Machine: m, Cores: 4096, Algo: TwoDFlat}, wl)
+	part := Predict(Config{Machine: m, Cores: 4096, Algo: TwoDFlat, PartitionedBitmap: true}, wl)
+	if base.Total != part.Total {
+		t.Error("PartitionedBitmap without DirOpt changed the projection")
+	}
+	d1 := Predict(Config{Machine: m, Cores: 4096, Algo: OneDFlat, DirOpt: true}, wl)
+	p1 := Predict(Config{Machine: m, Cores: 4096, Algo: OneDFlat, DirOpt: true, PartitionedBitmap: true}, wl)
+	if d1.Total != p1.Total {
+		t.Error("PartitionedBitmap changed a 1D projection")
+	}
+}
+
 // TestDirOptIgnoredByComparators: the reference and PBGL codes are
 // top-down by construction; DirOpt must not alter their projections.
 func TestDirOptIgnoredByComparators(t *testing.T) {

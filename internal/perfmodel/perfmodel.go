@@ -102,6 +102,17 @@ type Config struct {
 	// the sparse all-to-all. False reproduces the paper's top-down-only
 	// projections unchanged.
 	DirOpt bool
+	// PartitionedBitmap prices the bottom-up frontier exchange through
+	// the pr×pc grid subcommunicators instead of one world-wide
+	// allgather: per heavy level each rank exchanges its row-block
+	// slice along its processor row (n/(64·pr) words over pc members)
+	// and its block-column slice along its processor column (n/(64·pc)
+	// words over pr members), so the per-rank bitmap volume shrinks as
+	// 1/√p where the dense exchange stays n/64 regardless of p — the
+	// crossover where the bitmap overtakes the pull savings moves out
+	// by ~√p. Only meaningful for the 2D variants (the 1D pull needs
+	// the global bitmap) with DirOpt set; ignored otherwise.
+	PartitionedBitmap bool
 }
 
 // Breakdown is a predicted per-search execution profile.
@@ -216,6 +227,19 @@ const dirOptScanFraction = (1 - dirOptHeavyShare) + dirOptHeavyShare*dirOptPullF
 func bitmapPhase(m *netmodel.Machine, wl Workload, p int) float64 {
 	words := (wl.N + 63) / 64
 	return float64(wl.HeavyLevels) * m.Allgatherv(int(p), words)
+}
+
+// bitmapPhasePartitioned prices the subcommunicator form of the same
+// exchange on a pr×pc grid: per heavy level, an allgather of the
+// row-block bitmap (n/(64·pr) words) over the pc row members followed
+// by an allgather of the block-column bitmap (n/(64·pc) words) over the
+// pr column members.
+func bitmapPhasePartitioned(m *netmodel.Machine, wl Workload, pr, pc float64) float64 {
+	words := float64((wl.N + 63) / 64)
+	rowWords := int64(words/pr) + 1
+	colWords := int64(words/pc) + 1
+	return float64(wl.HeavyLevels) *
+		(m.Allgatherv(int(pc), rowWords) + m.Allgatherv(int(pr), colWords))
 }
 
 // threadSpeedup returns the effective parallel speedup of t threads on a
@@ -382,7 +406,11 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 		"expand": expand, "fold": fold, "transpose": transpose, "allreduce": allred,
 	}
 	if dirOpt {
-		phases["bitmap"] = bitmapPhase(m, wl, int(p))
+		if cfg.PartitionedBitmap {
+			phases["bitmap"] = bitmapPhasePartitioned(m, wl, pr, pc)
+		} else {
+			phases["bitmap"] = bitmapPhase(m, wl, int(p))
+		}
 	}
 	return finish(cfg, wl, comp, phases, [2]int{int(pr), int(pc)})
 }

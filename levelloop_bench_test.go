@@ -46,11 +46,13 @@ func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir
 	if err != nil {
 		b.Fatal(err)
 	}
-	pr := isqrt(ranks)
-	if pr*pr != ranks {
+	// The BENCH trajectory rows are pinned to square layouts (the
+	// engine accepts any factorization since PR 4).
+	pr, pc := cluster.ClosestSquare(ranks)
+	if pr != pc {
 		b.Fatalf("ranks %d not square", ranks)
 	}
-	dg, err := bfs2d.Distribute(el, pr, pr, threads)
+	dg, err := bfs2d.Distribute(el, pr, pc, threads)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir
 	// The world and grid persist across searches like a session engine's;
 	// Reset re-zeroes the clocks each iteration.
 	w := cluster.NewWorld(ranks, machine)
-	grid := cluster.NewGrid(w, pr, pr)
+	grid := cluster.NewGrid(w, pr, pc)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -109,8 +109,15 @@ func TestBFSOptionErrors(t *testing.T) {
 	if _, err := g.BFS(src, Options{Machine: "cray-3"}); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if _, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 7}); err == nil {
-		t.Error("non-square 2D rank count accepted")
+	if _, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 7, GridRows: 2}); err == nil {
+		t.Error("ranks not factorable into the requested grid accepted")
+	}
+	// A non-square rank count is no longer an error: it runs on its
+	// closest-square factorization (1x7 here).
+	if res, err := g.BFS(src, Options{Algorithm: TwoDFlat, Ranks: 7}); err != nil {
+		t.Errorf("prime 2D rank count rejected: %v", err)
+	} else if err := g.Validate(res); err != nil {
+		t.Error(err)
 	}
 	if _, err := g.BFS(src, Options{Kernel: "btree"}); err == nil {
 		t.Error("unknown kernel accepted")

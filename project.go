@@ -39,14 +39,26 @@ func ProjectWebCrawl(machine string, cores int, algo Algorithm) (*Projection, er
 // exposes the crossover where the n/64-word bitmap volume overtakes the
 // shrinking per-rank all-to-all volume at high core counts.
 func ProjectRMATDirOpt(machine string, cores int, algo Algorithm, scale, edgeFactor int) (*Projection, error) {
-	return projectCfg(machine, cores, algo, true, perfmodel.RMATWorkload(scale, edgeFactor))
+	return projectCfg(machine, cores, algo, true, false, perfmodel.RMATWorkload(scale, edgeFactor))
+}
+
+// ProjectRMATDirOptPartitioned is ProjectRMATDirOpt with the bottom-up
+// frontier bitmap partitioned across the pr×pc grid subcommunicators
+// (the exchange the emulated 2D driver performs): per heavy level each
+// rank moves only its row-block and block-column slices, so the bitmap
+// phase shrinks as 1/√p instead of staying constant, and the crossover
+// where it overtakes the pull savings moves out by ~√p. Only the 2D
+// variants partition (the 1D pull needs the global bitmap); others are
+// priced as ProjectRMATDirOpt.
+func ProjectRMATDirOptPartitioned(machine string, cores int, algo Algorithm, scale, edgeFactor int) (*Projection, error) {
+	return projectCfg(machine, cores, algo, true, true, perfmodel.RMATWorkload(scale, edgeFactor))
 }
 
 func project(machine string, cores int, algo Algorithm, wl perfmodel.Workload) (*Projection, error) {
-	return projectCfg(machine, cores, algo, false, wl)
+	return projectCfg(machine, cores, algo, false, false, wl)
 }
 
-func projectCfg(machine string, cores int, algo Algorithm, dirOpt bool, wl perfmodel.Workload) (*Projection, error) {
+func projectCfg(machine string, cores int, algo Algorithm, dirOpt, partitioned bool, wl perfmodel.Workload) (*Projection, error) {
 	m, ok := netmodel.Profiles()[machine]
 	if !ok {
 		return nil, fmt.Errorf("pbfs: unknown machine %q", machine)
@@ -56,6 +68,7 @@ func projectCfg(machine string, cores int, algo Algorithm, dirOpt bool, wl perfm
 	}
 	b := perfmodel.Predict(perfmodel.Config{
 		Machine: m, Cores: cores, Algo: perfmodel.Algo(algo), DirOpt: dirOpt,
+		PartitionedBitmap: partitioned,
 	}, wl)
 	return &Projection{
 		GTEPS:       b.GTEPS,

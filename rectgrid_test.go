@@ -1,0 +1,85 @@
+package pbfs
+
+import "testing"
+
+// TestCrossShapeDistances is the rectangular-grid property test: for
+// every rank count p in {2, 6, 8, 12, 16} and every factorization
+// pr×pc of p, the 2D engine's distances are bit-identical to the 1D
+// reference on the same p ranks — and therefore to the square grid
+// where one exists (pr == pc is itself one of the factorizations) —
+// across all three direction policies.
+func TestCrossShapeDistances(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 0x2d)[0]
+	for _, p := range []int{2, 6, 8, 12, 16} {
+		for _, dir := range []Direction{Auto, TopDownOnly, BottomUpOnly} {
+			ref, err := g.BFS(src, Options{Algorithm: OneDFlat, Ranks: p, Machine: "franklin", Direction: dir})
+			if err != nil {
+				t.Fatalf("p=%d dir=%v: 1D reference: %v", p, dir, err)
+			}
+			sess := NewSession()
+			for pr := 1; pr <= p; pr++ {
+				if p%pr != 0 {
+					continue
+				}
+				pc := p / pr
+				opt := Options{Algorithm: TwoDFlat, Ranks: p, GridRows: pr, GridCols: pc,
+					Machine: "franklin", Direction: dir}
+				res, err := sess.Search(g, src, opt)
+				if err != nil {
+					t.Fatalf("p=%d %dx%d dir=%v: %v", p, pr, pc, dir, err)
+				}
+				for v := range ref.Dist {
+					if res.Dist[v] != ref.Dist[v] {
+						t.Fatalf("p=%d %dx%d dir=%v: dist[%d] = %d, 1D reference got %d",
+							p, pr, pc, dir, v, res.Dist[v], ref.Dist[v])
+					}
+				}
+				if res.Levels != ref.Levels || res.TraversedEdges != ref.TraversedEdges {
+					t.Fatalf("p=%d %dx%d dir=%v: levels/edges %d/%d, 1D reference got %d/%d",
+						p, pr, pc, dir, res.Levels, res.TraversedEdges, ref.Levels, ref.TraversedEdges)
+				}
+				if err := g.Validate(res); err != nil {
+					t.Fatalf("p=%d %dx%d dir=%v: %v", p, pr, pc, dir, err)
+				}
+			}
+			sess.Close()
+		}
+	}
+}
+
+// TestRectGridSessionKeys checks that the grid shape is part of the
+// engine cache key: the same rank count under two shapes builds two
+// engines (two distributions), while the derived closest-square shape
+// and its explicit spelling share one.
+func TestRectGridSessionKeys(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 9)[0]
+	sess := NewSession()
+	defer sess.Close()
+	search := func(opt Options) {
+		t.Helper()
+		if _, err := sess.Search(g, src, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := distributions.Load()
+	search(Options{Algorithm: TwoDFlat, Ranks: 6})                           // derived 2x3
+	search(Options{Algorithm: TwoDFlat, Ranks: 6, GridRows: 2, GridCols: 3}) // same engine
+	search(Options{Algorithm: TwoDFlat, Ranks: 6, GridRows: 2})              // inferred 2x3: same engine
+	if got := distributions.Load() - before; got != 1 {
+		t.Errorf("equivalent 2x3 spellings performed %d distributions, want 1", got)
+	}
+	before = distributions.Load()
+	search(Options{Algorithm: TwoDFlat, Ranks: 6, GridRows: 3, GridCols: 2}) // different shape
+	if got := distributions.Load() - before; got != 1 {
+		t.Errorf("changed grid shape performed %d distributions, want 1", got)
+	}
+	// A fully specified grid implies its rank count: no Ranks needed,
+	// and the spelling shares the engine with the explicit one.
+	before = distributions.Load()
+	search(Options{Algorithm: TwoDFlat, GridRows: 3, GridCols: 2})
+	if got := distributions.Load() - before; got != 0 {
+		t.Errorf("grid-implied rank count performed %d distributions, want 0 (cached 3x2 engine)", got)
+	}
+}

@@ -1,16 +1,26 @@
 package pbfs
 
 // Options configures a distributed BFS run. The layout fields
-// (Algorithm, Ranks, Threads, Machine, Kernel, DiagonalVectors) select
-// an engine — a distributed graph, world/grid, and scratch arenas that
-// a Session caches across searches — while Direction, Alpha/Beta, and
-// Trace vary freely per search on the same engine.
+// (Algorithm, Ranks, GridRows/GridCols, Threads, Machine, Kernel,
+// DiagonalVectors) select an engine — a distributed graph, world/grid,
+// and scratch arenas that a Session caches across searches — while
+// Direction, Alpha/Beta, and Trace vary freely per search on the same
+// engine.
 type Options struct {
 	// Algorithm selects the implementation; the zero value is OneDFlat.
 	Algorithm Algorithm
-	// Ranks is the number of emulated processes (default 4). The 2D
-	// algorithms require a perfect square.
+	// Ranks is the number of emulated processes. Zero defaults to
+	// GridRows*GridCols when both are set, else 4. The 2D algorithms
+	// arrange the ranks on a pr×pc process grid: the closest square
+	// factorization of Ranks by default (cluster.ClosestSquare), or
+	// the explicit GridRows×GridCols shape when set.
 	Ranks int
+	// GridRows and GridCols select the 2D process grid shape. Zero
+	// means "derive": both zero picks the closest square factorization
+	// of Ranks; one zero divides Ranks by the other. When both are set,
+	// GridRows*GridCols must equal Ranks. Ignored by the non-2D
+	// algorithms.
+	GridRows, GridCols int
 	// Threads is the intra-rank threading width for hybrid variants; 0
 	// picks the machine profile's default (or 4 without a machine).
 	Threads int

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# benchcheck.sh — the bench-regression gate: regenerate the BENCH
+# trajectory into a temp file with `bfsbench -bench-out` and compare it
+# against the committed BENCH_bfs.json with scripts/benchcmp. Fails if
+# steady-state allocs/op grows or batch_speedup drops beyond tolerance.
+#
+# This is minutes of wall clock (each configuration times a 16-search
+# batch against 16 full rebuilds), so ci.sh only runs it when
+# CI_BENCHCHECK=1; the comparison logic itself is unit-tested in
+# scripts/benchcmp and runs in the fast tier-1 suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${BENCHCHECK_BASELINE:-BENCH_bfs.json}"
+if [ ! -f "$baseline" ]; then
+    echo "benchcheck: baseline $baseline not found" >&2
+    exit 2
+fi
+# Regenerate at the baseline's own scale so the comparison is
+# like-for-like.
+scale=$(grep -m1 '"scale"' "$baseline" | grep -oE '[0-9]+')
+
+tmp=$(mktemp -t benchcheck.XXXXXX.json)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== benchcheck: regenerating trajectory (scale $scale) =="
+go run ./cmd/bfsbench -bench-out "$tmp" -bench-scale "$scale" >/dev/null
+
+echo "== benchcheck: comparing against $baseline =="
+go run ./scripts/benchcmp -baseline "$baseline" -candidate "$tmp"

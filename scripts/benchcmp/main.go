@@ -1,0 +1,135 @@
+// Command benchcmp is the bench-regression gate: it compares a freshly
+// generated BENCH trajectory file (bfsbench -bench-out) against the
+// committed baseline and exits non-zero if a steady-state metric
+// regressed beyond tolerance.
+//
+// Two metrics gate merges:
+//
+//   - allocs/op of a warm-session search must not grow: the PR-1/PR-3
+//     arena work made steady-state levels allocation-free, and an
+//     allocation creeping back into the level loop is invisible to
+//     correctness tests.
+//   - batch_speedup (one open session for a 16-search batch vs 16
+//     one-shot rebuilds) must not collapse: it is the observable proof
+//     that a configuration pays exactly one distribution.
+//
+// allocs/op is nearly deterministic, so its tolerance is tight;
+// batch_speedup is wall-clock and shares the host with other CI jobs,
+// so its tolerance only catches collapses (losing session reuse drops
+// it from ~50-190x to ~1x).
+//
+// Usage:
+//
+//	benchcmp -baseline BENCH_bfs.json -candidate /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result mirrors the BENCH_bfs.json fields the gate reads (see
+// internal/bench.WallResult for the full schema).
+type result struct {
+	Config       string  `json:"config"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BatchSpeedup float64 `json:"batch_speedup"`
+}
+
+type report struct {
+	Scale   int      `json:"scale"`
+	Results []result `json:"results"`
+}
+
+// tolerances bound how far a candidate metric may drift from baseline.
+type tolerances struct {
+	allocGrow    float64 // relative allocs/op growth allowed (e.g. 0.25)
+	allocSlack   float64 // absolute allocs/op slack on top of the ratio
+	speedupDrop  float64 // relative batch_speedup drop allowed (e.g. 0.6)
+	speedupFloor float64 // speedups below this are never compared (degenerate hosts)
+}
+
+func defaultTolerances() tolerances {
+	return tolerances{allocGrow: 0.25, allocSlack: 16, speedupDrop: 0.6, speedupFloor: 2}
+}
+
+// compare returns one message per regressed metric; an empty slice
+// means the candidate holds the baseline. Every baseline configuration
+// must appear in the candidate — a row vanishing (or being renamed) is
+// itself a regression, otherwise breaking a configuration's generation
+// would silently drop it from both gates. Candidate-only
+// configurations are ignored (adding one is not a regression).
+func compare(base, cand *report, tol tolerances) []string {
+	var bad []string
+	candBy := make(map[string]result, len(cand.Results))
+	for _, r := range cand.Results {
+		candBy[r.Config] = r
+	}
+	for _, b := range base.Results {
+		c, ok := candBy[b.Config]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: configuration missing from candidate", b.Config))
+			continue
+		}
+		if limit := b.AllocsPerOp*(1+tol.allocGrow) + tol.allocSlack; c.AllocsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f (+%.0f%% +%.0f slack)",
+				b.Config, c.AllocsPerOp, b.AllocsPerOp, tol.allocGrow*100, tol.allocSlack))
+		}
+		if b.BatchSpeedup >= tol.speedupFloor {
+			if floor := b.BatchSpeedup * (1 - tol.speedupDrop); c.BatchSpeedup < floor {
+				bad = append(bad, fmt.Sprintf("%s: batch_speedup %.1fx below baseline %.1fx (-%.0f%% floor %.1fx)",
+					b.Config, c.BatchSpeedup, b.BatchSpeedup, tol.speedupDrop*100, floor))
+			}
+		}
+	}
+	return bad
+}
+
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &rep, nil
+}
+
+func main() {
+	var (
+		baseline    = flag.String("baseline", "BENCH_bfs.json", "committed BENCH trajectory file")
+		candidate   = flag.String("candidate", "", "freshly generated trajectory file to gate")
+		allocGrow   = flag.Float64("alloc-tol", defaultTolerances().allocGrow, "relative allocs/op growth allowed")
+		speedupDrop = flag.Float64("speedup-tol", defaultTolerances().speedupDrop, "relative batch_speedup drop allowed")
+	)
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -candidate is required")
+		os.Exit(2)
+	}
+	base, err := loadReport(*baseline)
+	if err == nil {
+		var cand *report
+		if cand, err = loadReport(*candidate); err == nil {
+			tol := defaultTolerances()
+			tol.allocGrow, tol.speedupDrop = *allocGrow, *speedupDrop
+			if bad := compare(base, cand, tol); len(bad) > 0 {
+				for _, msg := range bad {
+					fmt.Fprintln(os.Stderr, "benchcmp: REGRESSION:", msg)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("benchcmp: OK (%d configurations within tolerance)\n", len(base.Results))
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(2)
+}

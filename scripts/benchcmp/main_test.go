@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBaseline() *report {
+	return &report{Scale: 16, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188},
+		{Config: "2d-flat", AllocsPerOp: 425, BatchSpeedup: 54},
+	}}
+}
+
+// TestCompareFailsOnSyntheticRegression is the gate's own gate: a
+// candidate with regressed steady-state allocations or a collapsed
+// batch speedup must be flagged.
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	base := sampleBaseline()
+	tol := defaultTolerances()
+
+	allocRegressed := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 400, BatchSpeedup: 188}, // 170 -> 400
+		{Config: "2d-flat", AllocsPerOp: 425, BatchSpeedup: 54},
+	}}
+	bad := compare(base, allocRegressed, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs/op") {
+		t.Fatalf("alloc regression not flagged: %v", bad)
+	}
+
+	speedupCollapsed := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188},
+		{Config: "2d-flat", AllocsPerOp: 425, BatchSpeedup: 1.1}, // session reuse lost
+	}}
+	bad = compare(base, speedupCollapsed, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "batch_speedup") {
+		t.Fatalf("speedup collapse not flagged: %v", bad)
+	}
+}
+
+// TestCompareAcceptsNoise: jitter inside the tolerances (allocator
+// noise, a moderately loaded CI host) must pass, as must an extra
+// configuration the baseline does not know yet.
+func TestCompareAcceptsNoise(t *testing.T) {
+	base := sampleBaseline()
+	cand := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 180, BatchSpeedup: 120}, // +6% allocs, -36% speedup
+		{Config: "2d-flat", AllocsPerOp: 430, BatchSpeedup: 54},
+		{Config: "2d-hybrid", AllocsPerOp: 9999, BatchSpeedup: 1}, // new config: ignored
+	}}
+	if bad := compare(base, cand, defaultTolerances()); len(bad) != 0 {
+		t.Fatalf("in-tolerance candidate flagged: %v", bad)
+	}
+}
+
+// TestCompareDisjointConfigs: a candidate measuring nothing the
+// baseline tracks must fail rather than silently pass.
+func TestCompareDisjointConfigs(t *testing.T) {
+	cand := &report{Results: []result{{Config: "other", AllocsPerOp: 1, BatchSpeedup: 100}}}
+	if bad := compare(sampleBaseline(), cand, defaultTolerances()); len(bad) != 2 {
+		t.Fatalf("disjoint configuration sets: got %v, want one missing-config message per baseline row", bad)
+	}
+}
+
+// TestCompareMissingConfig: losing (or renaming) a single baseline
+// configuration is a regression even while the others still pass — a
+// broken generator must not silently shrink the gate's coverage.
+func TestCompareMissingConfig(t *testing.T) {
+	cand := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188},
+		// 2d-flat vanished (e.g. renamed to "2d")
+		{Config: "2d", AllocsPerOp: 425, BatchSpeedup: 54},
+	}}
+	bad := compare(sampleBaseline(), cand, defaultTolerances())
+	if len(bad) != 1 || !strings.Contains(bad[0], "2d-flat") || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("missing configuration not flagged: %v", bad)
+	}
+}
+
+// TestLoadReportRoundTrip checks the file loader against the committed
+// schema, including its rejection of empty and malformed files.
+func TestLoadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	data, err := json.Marshal(sampleBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 || rep.Results[0].Config != "1d-flat" || rep.Results[0].AllocsPerOp != 170 {
+		t.Fatalf("round trip mangled report: %+v", rep)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(empty); err == nil {
+		t.Error("empty report accepted")
+	}
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestLoadCommittedBaseline guards the gate against schema drift: the
+// repository's committed BENCH_bfs.json must stay loadable with
+// comparable metrics.
+func TestLoadCommittedBaseline(t *testing.T) {
+	rep, err := loadReport(filepath.Join("..", "..", "BENCH_bfs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Config == "" || r.AllocsPerOp <= 0 || r.BatchSpeedup <= 0 {
+			t.Errorf("committed baseline has degenerate entry %+v", r)
+		}
+	}
+}

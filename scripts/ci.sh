@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# ci.sh — the repository's tier-1 gate plus hygiene checks:
-# docs references, formatting, vet, build, full tests, and a
-# one-iteration benchmark smoke pass over the BFS level loops.
+# ci.sh — the repository's tier-1 gate plus hygiene checks: docs
+# references, shellcheck, formatting, vet, build, full tests, a race
+# smoke over the concurrency-heavy paths, and a one-iteration benchmark
+# smoke pass over the BFS level loops. `.github/workflows/ci.yml` runs
+# exactly this script on every push and pull request; CI_BENCHCHECK=1
+# additionally runs the bench-regression gate (scripts/benchcheck.sh),
+# which is minutes of wall clock and has its own CI job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +28,16 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 
+echo "== shellcheck =="
+# Lint every shell script; skipped (not failed) where shellcheck is not
+# installed, so the gate stays runnable on minimal dev machines while
+# the GitHub runners (which ship shellcheck) enforce it.
+if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck scripts/*.sh
+else
+    echo "shellcheck not installed; skipping"
+fi
+
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -43,12 +57,20 @@ go test ./...
 
 echo "== race smoke (session reuse + collective substrate) =="
 # Small-scale race check over the paths where goroutine ranks, worker
-# pools, and cross-search arenas interlock: the session-reuse tests at
-# the facade and the cluster substrate's own suite.
-go test -race -run 'Session' .
+# pools, and cross-search arenas interlock: the session-reuse and
+# rectangular-grid tests at the facade, the cluster substrate's own
+# suite (including the grid subcommunicator collectives), and the 2D
+# driver's rectangular transpose/partitioned-bitmap paths.
+go test -race -run 'Session|CrossShape|RectGrid' .
 go test -race ./internal/cluster ./internal/smp
+go test -race -run 'Rect' ./internal/bfs2d
 
 echo "== bench smoke (BFS level loops, 1 iteration) =="
 go test -run '^$' -bench=BFS -benchtime=1x -benchmem .
+
+if [ "${CI_BENCHCHECK:-0}" = "1" ]; then
+    echo "== bench-regression gate =="
+    ./scripts/benchcheck.sh
+fi
 
 echo "CI OK"

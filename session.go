@@ -19,8 +19,8 @@ import (
 //	}
 //
 // Internally a session caches one engine per distinct layout — the
-// resolved (algorithm, ranks, threads, machine, kernel, vector
-// distribution) tuple. An engine owns its distributed graph (with the
+// resolved (algorithm, ranks, grid shape, threads, machine, kernel,
+// vector distribution) tuple. An engine owns its distributed graph (with the
 // bottom-up phase's lazily-built pull structures), its world and grid
 // communicators, and its cross-search scratch arenas. Changing only
 // per-search fields (Direction, Alpha/Beta, Trace) between searches

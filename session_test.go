@@ -175,7 +175,9 @@ func TestSessionErrors(t *testing.T) {
 		opt  Options
 		want string
 	}{
-		{"non-square 2D ranks", Options{Algorithm: TwoDHybrid, Ranks: 6}, "square"},
+		{"grid/ranks mismatch", Options{Algorithm: TwoDHybrid, Ranks: 6, GridRows: 2, GridCols: 2}, "factorable"},
+		{"indivisible grid rows", Options{Algorithm: TwoDFlat, Ranks: 6, GridRows: 4}, "factorable"},
+		{"diag on rectangular grid", Options{Algorithm: TwoDFlat, Ranks: 6, DiagonalVectors: true}, "square"},
 		{"unknown machine", Options{Machine: "nonesuch"}, "machine"},
 		{"unknown kernel", Options{Algorithm: TwoDFlat, Ranks: 4, Kernel: "fast"}, "kernel"},
 		{"diag bottom-up", Options{Algorithm: TwoDFlat, Ranks: 4, DiagonalVectors: true, Direction: BottomUpOnly}, "DiagonalVectors"},
