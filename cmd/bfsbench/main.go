@@ -39,6 +39,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		benchOut   = flag.String("bench-out", "", "write wall-clock level-loop benchmarks to this JSON file (e.g. BENCH_bfs.json) and exit")
 		benchScale = flag.Int("bench-scale", 16, "R-MAT scale for -bench-out")
+		overlap    = flag.Int("overlap", 4, "chunk count for the -bench-out overlapped-communication rows (<2 skips them)")
 	)
 	flag.Parse()
 	if *benchScale < 4 || *benchScale > 24 {
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	if *benchOut != "" {
-		rep, err := bench.WallClock(*benchScale, 16, 0xbf)
+		rep, err := bench.WallClock(*benchScale, 16, 0xbf, *overlap)
 		if err != nil {
 			fatal(err)
 		}

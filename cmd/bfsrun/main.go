@@ -46,6 +46,7 @@ func main() {
 		sources    = flag.Int("sources", 1, "number of Graph 500 search keys to run")
 		validate   = flag.Bool("validate", true, "validate against the serial oracle")
 		direction  = flag.String("direction", "auto", "traversal policy: auto, topdown, bottomup")
+		overlap    = flag.Int("overlap", 0, "overlap communication with computation: chunk count K >= 2 for the nonblocking frontier exchange (0 = blocking)")
 		trace      = flag.Bool("trace", false, "print the per-level frontier profile")
 	)
 	flag.Parse()
@@ -105,7 +106,8 @@ func main() {
 		res, err := sess.Search(g, src, pbfs.Options{
 			Algorithm: algo, Ranks: *ranks, Threads: *threads,
 			GridRows: gridRows, GridCols: gridCols,
-			Machine: *machine, Kernel: *kernel, Direction: dir, Trace: *trace,
+			Machine: *machine, Kernel: *kernel, Direction: dir,
+			Overlap: *overlap, Trace: *trace,
 		})
 		if err != nil {
 			fatal(err)

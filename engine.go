@@ -28,6 +28,7 @@ type layout struct {
 	machine string
 	kernel  spmat.Kernel
 	diag    bool
+	overlap int // nonblocking chunk count; 0 = blocking collectives
 }
 
 // resolveLayout validates and normalizes Options into a layout, so that
@@ -47,6 +48,16 @@ func resolveLayout(opt Options) (layout, error) {
 		diag:    opt.DiagonalVectors,
 	}
 	twoD := opt.Algorithm == TwoDFlat || opt.Algorithm == TwoDHybrid
+	// Overlap drives the drivers' chunked nonblocking exchanges; the
+	// comparator codes are blocking by construction, the diagonal 2D
+	// vector distribution has no overlapped schedule (DiagonalVectors is
+	// meaningless — and normalized away — for non-2D algorithms), and
+	// values below 2 all mean "blocking", so those spellings normalize
+	// to the same engine key.
+	if opt.Overlap >= 2 && (opt.Algorithm == OneDFlat || opt.Algorithm == OneDHybrid || twoD) &&
+		!(twoD && opt.DiagonalVectors) {
+		lay.overlap = opt.Overlap
+	}
 	if lay.ranks < 1 {
 		// A fully specified grid implies its own rank count; otherwise
 		// fall back to the library default.
@@ -222,6 +233,7 @@ func fillTimes(res *Result, w *cluster.World) {
 		}
 	}
 	res.CommByPhase = st.CommByTag
+	res.SentWords, res.RecvWords = st.TotalSent, st.TotalRecvd
 }
 
 // engine1D drives the 1D vertex-partitioned algorithms (flat and
@@ -258,7 +270,7 @@ func (e *engine1D) search(source int64, opt Options) (*Result, error) {
 	e.w.Reset()
 	out := bfs1d.Run(e.w, e.dg, source, bfs1d.Options{
 		Threads: e.lay.threads, LocalShortcut: true, DedupSends: true,
-		Direction: mode, Policy: policy,
+		Direction: mode, Policy: policy, OverlapChunks: e.lay.overlap,
 		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
 	})
 	res := &Result{Source: source}
@@ -267,6 +279,7 @@ func (e *engine1D) search(source int64, opt Options) (*Result, error) {
 	res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
 	res.LevelFrontier = out.LevelFrontier
 	res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
+	res.LevelCommWords = out.LevelCommWords
 	fillTimes(res, e.w)
 	return res, nil
 }
@@ -307,7 +320,7 @@ func (e *engine2D) search(source int64, opt Options) (*Result, error) {
 	e.w.Reset()
 	out, err := bfs2d.Run(e.w, e.grid, e.dg, source, bfs2d.Options{
 		Threads: e.lay.threads, Kernel: e.lay.kernel, Vector: e.vec,
-		Direction: mode, Policy: policy,
+		Direction: mode, Policy: policy, OverlapChunks: e.lay.overlap,
 		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
 	})
 	if err != nil {
@@ -319,6 +332,7 @@ func (e *engine2D) search(source int64, opt Options) (*Result, error) {
 	res.ScannedTopDown, res.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
 	res.LevelFrontier = out.LevelFrontier
 	res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
+	res.LevelCommWords = out.LevelCommWords
 	fillTimes(res, e.w)
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/graph500"
 	"repro/internal/netmodel"
 	"repro/internal/prng"
 	"repro/internal/rmat"
@@ -139,6 +140,11 @@ func runAndValidate(t *testing.T, el *graph.EdgeList, p int, source int64, opt O
 	res := &serial.Result{Source: source, Dist: out.Dist, Parent: out.Parent}
 	if err := serial.Validate(ref, res, sref); err != nil {
 		t.Fatalf("p=%d threads=%d shortcut=%v: %v", p, opt.Threads, opt.LocalShortcut, err)
+	}
+	// The official Graph 500 validation entry point must agree with the
+	// serial oracle path.
+	if err := graph500.ValidateOutput(ref, source, out.Dist, out.Parent); err != nil {
+		t.Fatalf("p=%d: graph500.ValidateOutput: %v", p, err)
 	}
 	if want := sref.EdgesTraversed(ref); out.TraversedEdges != want {
 		t.Errorf("TraversedEdges = %d, want %d", out.TraversedEdges, want)

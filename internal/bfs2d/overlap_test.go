@@ -1,0 +1,117 @@
+package bfs2d
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dirheur"
+	"repro/internal/netmodel"
+	"repro/internal/rmat"
+	"repro/internal/serial"
+)
+
+// TestOverlapDistancesAndVolumes pins the overlap contract on the 2D
+// driver across grid shapes, directions, and thread widths: chunking
+// changes neither distances nor exchanged volumes, and never prices
+// slower than the blocking schedule.
+func TestOverlapDistancesAndVolumes(t *testing.T) {
+	el, err := rmat.Graph500(10, 8, 0x2be).GenerateUndirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := netmodel.Franklin()
+	for _, shape := range [][2]int{{2, 2}, {1, 4}, {4, 1}, {2, 3}} {
+		pr, pc := shape[0], shape[1]
+		g, err := Distribute(el, pr, pc, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range []dirheur.Mode{dirheur.ModeTopDown, dirheur.ModeAuto, dirheur.ModeBottomUp} {
+			for _, threads := range []int{1, 2} {
+				run := func(chunks int) (*Output, cluster.Stats) {
+					w := cluster.NewWorld(pr*pc, machine)
+					grid := cluster.NewGrid(w, pr, pc)
+					opt := DefaultOptions()
+					opt.Threads = threads
+					opt.Direction = dir
+					opt.Price = machine
+					opt.OverlapChunks = chunks
+					out, err := Run(w, grid, g, 1, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return out, w.Stats()
+				}
+				ref, refStats := run(0)
+				for _, chunks := range []int{2, 4} {
+					out, st := run(chunks)
+					for v := range ref.Dist {
+						if out.Dist[v] != ref.Dist[v] {
+							t.Fatalf("%dx%d dir %v threads %d chunks %d: dist[%d]=%d, blocking %d",
+								pr, pc, dir, threads, chunks, v, out.Dist[v], ref.Dist[v])
+						}
+					}
+					for v := range out.Parent {
+						pv := out.Parent[v]
+						if out.Dist[v] == serial.Unreached || int64(v) == out.Source {
+							continue
+						}
+						if pv < 0 || out.Dist[pv] != out.Dist[v]-1 {
+							t.Fatalf("%dx%d dir %v chunks %d: vertex %d parent %d spans %d -> %d",
+								pr, pc, dir, chunks, v, pv, out.Dist[pv], out.Dist[v])
+						}
+					}
+					if st.TotalSent != refStats.TotalSent || st.TotalRecvd != refStats.TotalRecvd {
+						t.Fatalf("%dx%d dir %v threads %d chunks %d: volumes %d/%d, blocking %d/%d",
+							pr, pc, dir, threads, chunks, st.TotalSent, st.TotalRecvd,
+							refStats.TotalSent, refStats.TotalRecvd)
+					}
+					if st.MaxClock > refStats.MaxClock*(1+1e-9) {
+						t.Errorf("%dx%d dir %v threads %d chunks %d: overlapped sim %.9g slower than blocking %.9g",
+							pr, pc, dir, threads, chunks, st.MaxClock, refStats.MaxClock)
+					}
+					if out.TraversedEdges != ref.TraversedEdges ||
+						out.ScannedTopDown != ref.ScannedTopDown ||
+						out.ScannedBottomUp != ref.ScannedBottomUp {
+						t.Fatalf("%dx%d dir %v chunks %d: work accounting drifted", pr, pc, dir, chunks)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapImprovesSim: with the bandwidth-heavy middle levels
+// running bottom-up (the library default), the overlapped column hop
+// and pipelined top-down levels must strictly beat the blocking
+// schedule on a large enough instance.
+func TestOverlapImprovesSim(t *testing.T) {
+	el, err := rmat.Graph500(14, 16, 0x2bf).GenerateUndirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Distribute(el, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := netmodel.Franklin()
+	sim := func(chunks int, dir dirheur.Mode) float64 {
+		w := cluster.NewWorld(4, machine)
+		grid := cluster.NewGrid(w, 2, 2)
+		opt := DefaultOptions()
+		opt.Direction = dir
+		opt.Price = machine
+		opt.OverlapChunks = chunks
+		if _, err := Run(w, grid, g, 1, opt); err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats().MaxClock
+	}
+	for _, dir := range []dirheur.Mode{dirheur.ModeAuto, dirheur.ModeTopDown} {
+		blocking := sim(0, dir)
+		overlapped := sim(2, dir)
+		if overlapped >= blocking {
+			t.Errorf("dir %v: overlap did not improve sim time: %.9g vs %.9g", dir, overlapped, blocking)
+		}
+	}
+}

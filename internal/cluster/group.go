@@ -49,6 +49,24 @@ type Group struct {
 	// is re-raised on every waiting participant so a failed operation
 	// cannot deadlock the rest of the group.
 	poisoned any
+
+	// Nonblocking collective state (see nonblocking.go). Posted
+	// operations are matched across members by post order: the i-th
+	// nonblocking post on this group by each member joins the same
+	// operation, mirroring MPI's communicator-ordered matching. pending
+	// maps a post sequence number to its in-flight operation; postSeq is
+	// each member's next sequence number; freeOps recycles completed
+	// operation records so steady-state chunked exchanges allocate
+	// nothing. busyUntil is the simulated time at which the group's
+	// communication channel frees up: collectives on one group execute
+	// serially on the wire, so an operation posted while a previous one
+	// is still in flight starts only when the channel drains. Blocking
+	// collectives respect and advance it too (a no-op for pure-blocking
+	// schedules, where every participant's clock already passed it).
+	pending   map[uint64]*pendingOp
+	postSeq   []uint64
+	freeOps   []*pendingOp
+	busyUntil float64
 }
 
 // NewGroup creates a communicator over the given world ranks. The order
@@ -75,6 +93,7 @@ func (w *World) NewGroup(members []int) *Group {
 		}
 		g.index[m] = i
 	}
+	w.groups = append(w.groups, g)
 	return g
 }
 
@@ -154,13 +173,17 @@ func (g *Group) collective(r *Rank, deposit payload, tag string,
 				}
 			}()
 			cost := finish(g.deposit, g.result)
-			var maxClock float64
+			// The operation starts when the last participant arrives and
+			// the group's channel is free (an in-flight nonblocking
+			// collective occupies it until it completes).
+			start := g.busyUntil
 			for _, c := range g.clocks {
-				if c > maxClock {
-					maxClock = c
+				if c > start {
+					start = c
 				}
 			}
-			g.leave = maxClock + cost
+			g.leave = start + cost
+			g.busyUntil = g.leave
 		}()
 		for i := range g.deposit {
 			g.deposit[i] = payload{}
@@ -181,6 +204,52 @@ func (g *Group) collective(r *Rank, deposit payload, tag string,
 	r.commTime[tag] += g.leave - entry
 	r.clock = g.leave
 	return out
+}
+
+// alltoallvMaxVolumes accumulates per-member send/receive word counts
+// from the deposited matrices into the (zeroed) count buffers and
+// returns the busiest participant's volumes — the quantities the cost
+// model prices. Shared by the blocking and nonblocking all-to-all so
+// their pricing can never diverge.
+func alltoallvMaxVolumes(deposits []payload, sendCounts, recvCounts []int64) (maxSend, maxRecv int64) {
+	n := len(sendCounts)
+	for src := 0; src < n; src++ {
+		mat := deposits[src].mat
+		for dst := 0; dst < n; dst++ {
+			sendCounts[src] += int64(len(mat[dst]))
+			recvCounts[dst] += int64(len(mat[dst]))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if sendCounts[i] > maxSend {
+			maxSend = sendCounts[i]
+		}
+		if recvCounts[i] > maxRecv {
+			maxRecv = recvCounts[i]
+		}
+	}
+	return maxSend, maxRecv
+}
+
+// orMergeBitsBlocks validates every member's deposited word range and
+// ORs it into acc (length totalWords). Shared by the blocking and
+// nonblocking bitmap exchanges so their validation and merge semantics
+// can never diverge; panics (poisoning the calling collective) on a
+// malformed deposit.
+func orMergeBitsBlocks(deposits []payload, acc []uint64, totalWords int64) {
+	clear(acc)
+	for i := range deposits {
+		if deposits[i].num2 != totalWords {
+			panic("cluster: AllgatherBitsBlocks totalWords mismatch across members")
+		}
+		o := deposits[i].num
+		if o < 0 || o+int64(len(deposits[i].bm)) > totalWords {
+			panic("cluster: AllgatherBitsBlocks deposit outside the bitmap")
+		}
+		for k, w := range deposits[i].bm {
+			acc[o+int64(k)] |= w
+		}
+	}
 }
 
 // Barrier synchronizes the group.
@@ -209,25 +278,10 @@ func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
 	r.sentWords += sent
 	out := g.collective(r, payload{mat: send}, tag, func(deposits, results []payload) float64 {
 		n := len(g.members)
-		sendCounts, recvCounts := g.countBufs()
-		for src := 0; src < n; src++ {
-			mat := deposits[src].mat
-			for dst := 0; dst < n; dst++ {
-				sendCounts[src] += int64(len(mat[dst]))
-				recvCounts[dst] += int64(len(mat[dst]))
-			}
-		}
 		// Per-node cost is dominated by the busiest participant; the
 		// collective completes when the slowest node is done.
-		var maxSend, maxRecv int64
-		for i := 0; i < n; i++ {
-			if sendCounts[i] > maxSend {
-				maxSend = sendCounts[i]
-			}
-			if recvCounts[i] > maxRecv {
-				maxRecv = recvCounts[i]
-			}
-		}
+		sendCounts, recvCounts := g.countBufs()
+		maxSend, maxRecv := alltoallvMaxVolumes(deposits, sendCounts, recvCounts)
 		cost := g.world.Model.Alltoallv(n, maxSend, maxRecv)
 		for dst := 0; dst < n; dst++ {
 			recv := g.scratchRow(dst)
@@ -301,19 +355,7 @@ func (g *Group) AllgatherBitsBlocks(r *Rank, words []uint64, off, totalWords int
 			g.orWords = make([]uint64, totalWords)
 		}
 		acc := g.orWords[:totalWords]
-		clear(acc)
-		for i := range deposits {
-			if deposits[i].num2 != totalWords {
-				panic("cluster: AllgatherBitsBlocks totalWords mismatch across members")
-			}
-			o := deposits[i].num
-			if o < 0 || o+int64(len(deposits[i].bm)) > totalWords {
-				panic("cluster: AllgatherBitsBlocks deposit outside the bitmap")
-			}
-			for k, w := range deposits[i].bm {
-				acc[o+int64(k)] |= w
-			}
-		}
+		orMergeBitsBlocks(deposits, acc, totalWords)
 		for i := range results {
 			results[i] = payload{bm: acc}
 		}

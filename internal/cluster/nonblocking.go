@@ -1,0 +1,359 @@
+package cluster
+
+import "fmt"
+
+// Nonblocking collectives: the post/wait halves of the overlapped
+// communication the paper evaluates in Section 6 ("overlapping
+// communication with computation"). A member posts its contribution and
+// keeps computing; the operation completes (data moves, cost is priced)
+// once every member has posted; Wait then charges only the *exposed*
+// communication time — the part the member's own computation did not
+// cover — so a fully overlapped exchange costs a rank no simulated time
+// at all. Volumes are booked exactly as for the blocking forms, so
+// chunking an exchange changes its timing but never its modeled words.
+//
+// Matching follows MPI communicator order: the i-th nonblocking post on
+// a group by each member joins the same operation, whatever the
+// interleaving with blocking collectives. Every member must post the
+// same operation kinds in the same order; a mismatch poisons the group.
+//
+// Timing model. Let post_k be member k's clock at post time and busy
+// the group channel's free time (collectives on one group serialize on
+// the wire). The operation runs over
+//
+//	start = max(busy, max_k post_k)      done = start + cost
+//
+// and a member waiting at clock w leaves at max(w, done), booking
+// max(0, done - w) seconds of communication to the tag. For a rank that
+// posts at t, computes C, and waits, the chunk costs max(C, cost) — the
+// max(compute, comm) pricing of overlapped exchanges — while a blocking
+// call would pay C + cost.
+
+// opKind identifies the collective a pending operation performs, so
+// mismatched program orders across members fail loudly instead of
+// completing with mixed payloads.
+type opKind uint8
+
+const (
+	opIAlltoallv opKind = iota + 1
+	opIAllgatherv
+	opIAllgatherBits
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opIAlltoallv:
+		return "IAlltoallv"
+	case opIAllgatherv:
+		return "IAllgatherv"
+	case opIAllgatherBits:
+		return "IAllgatherBitsBlocks"
+	}
+	return "unknown"
+}
+
+// pendingOp is one in-flight nonblocking collective. It owns its result
+// assembly scratch (unlike blocking collectives, which recycle the
+// group's shared rows every round) because several operations can be
+// outstanding at once; records are recycled through the group freelist
+// once every member has waited. Result buffers handed to waiters remain
+// valid until the waiter's next collective on the group: reuse requires
+// a later post by every member, which is itself such a collective.
+type pendingOp struct {
+	kind     opKind
+	followOn bool
+	seq      uint64
+	deposit  []payload
+	clocks   []float64
+	result   []payload
+	scratch  [][][]int64 // per-member result rows (alltoallv) / shared parts row
+	orWords  []uint64    // bitmap accumulator (IAllgatherBitsBlocks)
+	posted   int
+	waited   int
+	done     bool
+	start    float64
+	cost     float64
+}
+
+// Request is a handle to a posted nonblocking collective, bound to the
+// posting rank. Exactly one Wait* call must follow on the same
+// goroutine; the group's other members must post (and wait) the same
+// operation.
+type Request struct {
+	g        *Group
+	r        *Rank
+	op       *pendingOp
+	tag      string
+	kind     opKind
+	bitsSent int64 // IAllgatherBitsBlocks: deposited word count
+	bitsTot  int64 // IAllgatherBitsBlocks: assembled word count
+}
+
+// takeOp returns a recycled (or new) operation record sized to the
+// group. Callers hold g.mu.
+func (g *Group) takeOp() *pendingOp {
+	n := len(g.members)
+	if k := len(g.freeOps); k > 0 {
+		op := g.freeOps[k-1]
+		g.freeOps = g.freeOps[:k-1]
+		*op = pendingOp{
+			deposit: op.deposit[:n], clocks: op.clocks[:n],
+			result: op.result[:n], scratch: op.scratch, orWords: op.orWords,
+		}
+		return op
+	}
+	return &pendingOp{
+		deposit: make([]payload, n),
+		clocks:  make([]float64, n),
+		result:  make([]payload, n),
+	}
+}
+
+// opRow returns operation-owned result row i, sized to the group.
+// Callers hold g.mu.
+func (op *pendingOp) opRow(i, n int) [][]int64 {
+	for len(op.scratch) <= i {
+		op.scratch = append(op.scratch, nil)
+	}
+	if len(op.scratch[i]) != n {
+		op.scratch[i] = make([][]int64, n)
+	}
+	return op.scratch[i]
+}
+
+// post is the shared half of every nonblocking collective: it files the
+// deposit under the member's next sequence number and completes the
+// operation if this was the last contribution. followOn marks the
+// operation as a pipeline continuation (see the follow-on pricing note
+// on IAlltoallv); every member must agree on it.
+func (g *Group) post(r *Rank, dep payload, kind opKind, tag string, followOn bool) Request {
+	me := g.RankIn(r)
+	if me < 0 {
+		panic(fmt.Sprintf("cluster: rank %d not in group", r.id))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.poisoned != nil {
+		panic(g.poisoned)
+	}
+	if g.pending == nil {
+		g.pending = make(map[uint64]*pendingOp)
+		g.postSeq = make([]uint64, len(g.members))
+	}
+	seq := g.postSeq[me]
+	g.postSeq[me]++
+	op := g.pending[seq]
+	if op == nil {
+		op = g.takeOp()
+		op.kind, op.seq, op.followOn = kind, seq, followOn
+		g.pending[seq] = op
+	}
+	if op.kind != kind || op.followOn != followOn {
+		err := fmt.Errorf("cluster: nonblocking post order mismatch: rank %d posted %v (followOn=%v) where the group expects %v (followOn=%v)",
+			r.id, kind, followOn, op.kind, op.followOn)
+		g.poisoned = err
+		g.cv.Broadcast()
+		panic(err)
+	}
+	op.deposit[me] = dep
+	op.clocks[me] = r.clock
+	op.posted++
+	if op.posted == len(g.members) {
+		// Complete: move the data and price the operation. A panic while
+		// finishing (malformed deposits) poisons the group so no member
+		// deadlocks on an operation that will never complete.
+		func() {
+			defer func() {
+				if e := recover(); e != nil {
+					g.poisoned = e
+					g.cv.Broadcast()
+					panic(e)
+				}
+			}()
+			cost := g.finishOp(op)
+			start := g.busyUntil
+			for _, c := range op.clocks {
+				if c > start {
+					start = c
+				}
+			}
+			op.start, op.cost = start, cost
+			g.busyUntil = start + cost
+		}()
+		op.done = true
+		g.cv.Broadcast()
+	}
+	return Request{g: g, r: r, op: op, tag: tag, kind: kind}
+}
+
+// followOnCost converts a full collective cost into the pipeline
+// continuation price: the per-peer rendezvous latency was paid by the
+// pipeline's first chunk (persistent channels stay established across
+// chunks of one logical exchange), so a follow-on chunk pays its
+// bandwidth share plus a single injection latency.
+func followOnCost(full, latencyOnly, injection float64) float64 {
+	cost := full - latencyOnly + injection
+	if cost < 0 {
+		return 0
+	}
+	return cost
+}
+
+// finishOp fills op.result from op.deposit and returns the modeled
+// cost. Callers hold g.mu.
+func (g *Group) finishOp(op *pendingOp) float64 {
+	n := len(g.members)
+	switch op.kind {
+	case opIAlltoallv:
+		sendCounts, recvCounts := g.countBufs()
+		maxSend, maxRecv := alltoallvMaxVolumes(op.deposit, sendCounts, recvCounts)
+		for dst := 0; dst < n; dst++ {
+			recv := op.opRow(dst, n)
+			for src := 0; src < n; src++ {
+				recv[src] = op.deposit[src].mat[dst]
+			}
+			op.result[dst] = payload{mat: recv}
+		}
+		cost := g.world.Model.Alltoallv(n, maxSend, maxRecv)
+		if op.followOn {
+			cost = followOnCost(cost, g.world.Model.Alltoallv(n, 0, 0),
+				g.world.Model.PointToPoint(0))
+		}
+		return cost
+	case opIAllgatherv:
+		parts := op.opRow(0, n)
+		var total int64
+		for i := 0; i < n; i++ {
+			parts[i] = op.deposit[i].vec
+			total += int64(len(parts[i]))
+		}
+		for i := range op.result {
+			op.result[i] = payload{mat: parts}
+		}
+		cost := g.world.Model.Allgatherv(n, total)
+		if op.followOn {
+			cost = followOnCost(cost, g.world.Model.Allgatherv(n, 0),
+				g.world.Model.PointToPoint(0))
+		}
+		return cost
+	case opIAllgatherBits:
+		totalWords := op.deposit[0].num2
+		if int64(cap(op.orWords)) < totalWords {
+			op.orWords = make([]uint64, totalWords)
+		}
+		acc := op.orWords[:totalWords]
+		orMergeBitsBlocks(op.deposit, acc, totalWords)
+		for i := range op.result {
+			op.result[i] = payload{bm: acc}
+		}
+		return g.world.Model.Allgatherv(n, totalWords)
+	}
+	panic("cluster: unknown nonblocking operation kind")
+}
+
+// wait blocks until the request's operation has completed, charges the
+// exposed communication time, and returns the member's result.
+func (q Request) wait() payload {
+	g, op := q.g, q.op
+	if g == nil {
+		panic("cluster: Wait on a zero Request")
+	}
+	g.mu.Lock()
+	for !op.done && g.poisoned == nil {
+		g.cv.Wait()
+	}
+	if g.poisoned != nil {
+		p := g.poisoned
+		g.mu.Unlock()
+		panic(p)
+	}
+	me := g.RankIn(q.r)
+	out := op.result[me]
+	done := op.start + op.cost
+	op.waited++
+	if op.waited == len(g.members) {
+		delete(g.pending, op.seq)
+		g.freeOps = append(g.freeOps, op)
+	}
+	g.mu.Unlock()
+	r := q.r
+	if done > r.clock {
+		r.commTime[q.tag] += done - r.clock
+		r.clock = done
+	}
+	return out
+}
+
+// IAlltoallv posts the nonblocking form of Alltoallv: send[j] goes to
+// group rank j once every member has posted. The returned request must
+// be completed with WaitMat; buffer discipline matches Alltoallv, with
+// "next collective" counted from the Wait.
+//
+// followOn marks the chunk as a pipeline continuation: the first chunk
+// of a chunked exchange pays the full collective cost (per-peer
+// rendezvous latency plus its bandwidth share), follow-on chunks only
+// their bandwidth share plus one injection latency, because the
+// persistent channels the first chunk established stay open across the
+// chunks of one logical exchange. Every member must pass the same flag.
+func (g *Group) IAlltoallv(r *Rank, send [][]int64, tag string, followOn bool) Request {
+	if len(send) != len(g.members) {
+		panic("cluster: IAlltoallv send buffer count != group size")
+	}
+	var sent int64
+	for _, s := range send {
+		sent += int64(len(s))
+	}
+	r.sentWords += sent
+	return g.post(r, payload{mat: send}, opIAlltoallv, tag, followOn)
+}
+
+// IAllgatherv posts the nonblocking form of Allgatherv. Complete with
+// WaitMat. followOn follows IAlltoallv's pipeline pricing.
+func (g *Group) IAllgatherv(r *Rank, send []int64, tag string, followOn bool) Request {
+	r.sentWords += int64(len(send))
+	return g.post(r, payload{vec: send}, opIAllgatherv, tag, followOn)
+}
+
+// IAllgatherBitsBlocks posts the nonblocking form of
+// AllgatherBitsBlocks. Complete with WaitBits. The bitmap exchange is
+// never chunked (its volume is fixed at totalWords), so it has no
+// follow-on form.
+func (g *Group) IAllgatherBitsBlocks(r *Rank, words []uint64, off, totalWords int64, tag string) Request {
+	r.sentWords += int64(len(words))
+	q := g.post(r, payload{bm: words, num: off, num2: totalWords}, opIAllgatherBits, tag, false)
+	q.bitsSent = int64(len(words))
+	q.bitsTot = totalWords
+	return q
+}
+
+// WaitMat completes an IAlltoallv or IAllgatherv request and returns
+// the received parts indexed by group rank (for IAllgatherv, position i
+// holds member i's contribution). Valid until the member's next
+// collective on the group; must not be mutated.
+func (q Request) WaitMat() [][]int64 {
+	if q.kind != opIAlltoallv && q.kind != opIAllgatherv {
+		panic(fmt.Sprintf("cluster: WaitMat on a %v request", q.kind))
+	}
+	out := q.wait().mat
+	for i, part := range out {
+		if q.kind == opIAllgatherv && q.g.members[i] == q.r.id {
+			continue // own contribution is not received traffic
+		}
+		q.r.recvWords += int64(len(part))
+	}
+	return out
+}
+
+// WaitBits completes an IAllgatherBitsBlocks request and returns the
+// OR-assembled bitmap words. Valid until the member's next collective
+// on the group; must not be mutated.
+func (q Request) WaitBits() []uint64 {
+	if q.kind != opIAllgatherBits {
+		panic(fmt.Sprintf("cluster: WaitBits on a %v request", q.kind))
+	}
+	out := q.wait().bm
+	if recv := q.bitsTot - q.bitsSent; recv > 0 {
+		q.r.recvWords += recv
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// flatCost charges a fixed cost per collective, independent of volume,
+// so overlap arithmetic in the tests is exact.
+type flatCost struct{ c float64 }
+
+func (f flatCost) Alltoallv(int, int64, int64) float64 { return f.c }
+func (f flatCost) Allgatherv(int, int64) float64       { return f.c }
+func (f flatCost) Allreduce(int, int64) float64        { return f.c }
+func (f flatCost) Bcast(int, int64) float64            { return f.c }
+func (f flatCost) Gatherv(int, int64) float64          { return f.c }
+func (f flatCost) Barrier(int) float64                 { return f.c }
+func (f flatCost) PointToPoint(int64) float64          { return f.c }
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// TestIAlltoallvMovesData pins the data semantics: the nonblocking form
+// delivers exactly what the blocking form does.
+func TestIAlltoallvMovesData(t *testing.T) {
+	const p = 4
+	w := NewWorld(p, ZeroCost{})
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		send := make([][]int64, p)
+		for j := range send {
+			send[j] = []int64{int64(r.ID()*10 + j)}
+		}
+		req := g.IAlltoallv(r, send, "a2a", false)
+		parts := req.WaitMat()
+		for src, part := range parts {
+			if len(part) != 1 || part[0] != int64(src*10+r.ID()) {
+				t.Errorf("rank %d: part from %d = %v", r.ID(), src, part)
+			}
+		}
+	})
+	st := w.Stats()
+	if st.TotalSent != p*p || st.TotalRecvd != p*p {
+		t.Errorf("volumes sent/recv = %d/%d, want %d/%d", st.TotalSent, st.TotalRecvd, p*p, p*p)
+	}
+}
+
+// TestIAllgatherBitsBlocksAssembles pins the OR assembly against the
+// blocking collective on the same deposits.
+func TestIAllgatherBitsBlocksAssembles(t *testing.T) {
+	const p = 4
+	w := NewWorld(p, ZeroCost{})
+	g := w.WorldGroup()
+	got := make([][]uint64, p)
+	want := make([][]uint64, p)
+	w.Run(func(r *Rank) {
+		dep := []uint64{1 << uint(r.ID())}
+		req := g.IAllgatherBitsBlocks(r, dep, int64(r.ID()), p, "bm")
+		out := req.WaitBits()
+		got[r.ID()] = append([]uint64(nil), out...)
+	})
+	w.Reset()
+	w.Run(func(r *Rank) {
+		dep := []uint64{1 << uint(r.ID())}
+		out := g.AllgatherBitsBlocks(r, dep, int64(r.ID()), p, "bm")
+		want[r.ID()] = append([]uint64(nil), out...)
+	})
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("rank %d: %v vs %v", i, got[i], want[i])
+		}
+		for k := range got[i] {
+			if got[i][k] != want[i][k] {
+				t.Errorf("rank %d word %d: %#x vs %#x", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+// TestOverlapPricesMaxCompComm is the max(compute, comm) contract: work
+// charged between post and wait hides under the in-flight exchange, so
+// the chunk costs max of the two, not their sum.
+func TestOverlapPricesMaxCompComm(t *testing.T) {
+	const cost = 1.0
+	for _, tc := range []struct {
+		name      string
+		compute   float64
+		wantClock float64
+		wantComm  float64
+	}{
+		{"comm bound", 0.25, cost, 0.75},
+		{"fully hidden", 4.0, 4.0, 0},
+		{"exact cover", 1.0, cost, 0},
+	} {
+		w := NewWorld(2, flatCost{cost})
+		g := w.WorldGroup()
+		w.Run(func(r *Rank) {
+			send := make([][]int64, 2)
+			req := g.IAlltoallv(r, send, "a2a", false)
+			r.Charge(tc.compute)
+			req.WaitMat()
+			if !approx(r.Clock(), tc.wantClock) {
+				t.Errorf("%s: rank %d clock %v, want %v", tc.name, r.ID(), r.Clock(), tc.wantClock)
+			}
+			if !approx(r.CommTime("a2a"), tc.wantComm) {
+				t.Errorf("%s: rank %d comm %v, want %v", tc.name, r.ID(), r.CommTime("a2a"), tc.wantComm)
+			}
+		})
+	}
+}
+
+// TestOverlapStragglerBooksAsComm: an early poster that waits with no
+// compute pays for the latest poster's lateness as communication time,
+// exactly like blocking rendezvous waits.
+func TestOverlapStragglerBooksAsComm(t *testing.T) {
+	const cost = 1.0
+	w := NewWorld(2, flatCost{cost})
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			r.Charge(3) // late poster
+		}
+		req := g.IAlltoallv(r, make([][]int64, 2), "a2a", false)
+		req.WaitMat()
+		if !approx(r.Clock(), 3+cost) {
+			t.Errorf("rank %d clock %v, want %v", r.ID(), r.Clock(), 3+cost)
+		}
+	})
+}
+
+// TestChannelSerializesChunks: two operations posted back to back do
+// not overlap each other — the group's channel carries one at a time,
+// so the second starts when the first completes.
+func TestChannelSerializesChunks(t *testing.T) {
+	const cost = 1.0
+	w := NewWorld(2, flatCost{cost})
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		q0 := g.IAlltoallv(r, make([][]int64, 2), "a2a", false)
+		q1 := g.IAlltoallv(r, make([][]int64, 2), "a2a", false)
+		q0.WaitMat()
+		q1.WaitMat()
+		if !approx(r.Clock(), 2*cost) {
+			t.Errorf("rank %d clock %v, want %v", r.ID(), r.Clock(), 2*cost)
+		}
+	})
+	// A blocking collective entered while the channel is notionally busy
+	// also queues behind it (same horizon).
+	w.Reset()
+	w.Run(func(r *Rank) {
+		q := g.IAlltoallv(r, make([][]int64, 2), "a2a", false)
+		g.Barrier(r, "barrier")
+		q.WaitMat()
+		if !approx(r.Clock(), 2*cost) {
+			t.Errorf("rank %d clock after barrier %v, want %v", r.ID(), r.Clock(), 2*cost)
+		}
+	})
+}
+
+// TestFollowOnChunkPricing: a pipeline continuation pays its bandwidth
+// share plus one injection latency instead of the full per-peer
+// rendezvous, so a K-chunked exchange costs well under K times the
+// blocking collective on a latency-heavy model.
+func TestFollowOnChunkPricing(t *testing.T) {
+	m := netmodelLike{alpha: 1.0, beta: 0.001}
+	w := NewWorld(4, m)
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		send := make([][]int64, 4)
+		for j := range send {
+			send[j] = make([]int64, 10)
+		}
+		q0 := g.IAlltoallv(r, send, "a2a", false)
+		q1 := g.IAlltoallv(r, send, "a2a", true)
+		q0.WaitMat()
+		q1.WaitMat()
+	})
+	// Full chunk: 4 peers * alpha + 40 words * beta; follow-on: one
+	// injection alpha + 40 words * beta.
+	full := 4*1.0 + 40*0.001
+	follow := 1.0 + 40*0.001
+	if got := w.Stats().MaxClock; !approx(got, full+follow) {
+		t.Errorf("pipelined cost %v, want %v", got, full+follow)
+	}
+}
+
+// netmodelLike prices collectives with explicit alpha/beta terms for
+// the follow-on arithmetic.
+type netmodelLike struct{ alpha, beta float64 }
+
+func (m netmodelLike) Alltoallv(p int, s, r int64) float64 {
+	v := s
+	if r > v {
+		v = r
+	}
+	return float64(p)*m.alpha + float64(v)*m.beta
+}
+func (m netmodelLike) Allgatherv(p int, r int64) float64 {
+	return float64(p)*m.alpha + float64(r)*m.beta
+}
+func (m netmodelLike) Allreduce(int, int64) float64 { return m.alpha }
+func (m netmodelLike) Bcast(int, int64) float64     { return m.alpha }
+func (m netmodelLike) Gatherv(int, int64) float64   { return m.alpha }
+func (m netmodelLike) Barrier(int) float64          { return m.alpha }
+func (m netmodelLike) PointToPoint(w int64) float64 { return m.alpha + float64(w)*m.beta }
+
+// TestResetClearsNonblockingState: a reset world reprices the same
+// schedule identically (busyUntil and sequence numbers restart).
+func TestResetClearsNonblockingState(t *testing.T) {
+	const cost = 1.0
+	w := NewWorld(2, flatCost{cost})
+	g := w.WorldGroup()
+	run := func() float64 {
+		w.Run(func(r *Rank) {
+			q := g.IAlltoallv(r, make([][]int64, 2), "a2a", false)
+			q.WaitMat()
+			q = g.IAllgatherv(r, nil, "ag", false)
+			q.WaitMat()
+		})
+		return w.Stats().MaxClock
+	}
+	first := run()
+	w.Reset()
+	second := run()
+	if !approx(first, second) {
+		t.Errorf("reset run timed %v, first %v", second, first)
+	}
+}
+
+// TestMismatchedPostOrderPoisons: a rank posting a different operation
+// kind than its peers fails every participant instead of deadlocking.
+func TestMismatchedPostOrderPoisons(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched post order did not panic")
+		}
+	}()
+	w := NewWorld(2, ZeroCost{})
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		defer func() {
+			if e := recover(); e != nil {
+				panic(e) // propagate to World.Run
+			}
+		}()
+		if r.ID() == 0 {
+			g.IAlltoallv(r, make([][]int64, 2), "x", false).WaitMat()
+		} else {
+			g.IAllgatherv(r, nil, "x", false).WaitMat()
+		}
+	})
+}
+
+// TestNonblockingAllocFree: steady-state post/wait rounds recycle the
+// operation records and result rows.
+func TestNonblockingAllocFree(t *testing.T) {
+	w := NewWorld(1, ZeroCost{})
+	g := w.WorldGroup()
+	send := make([][]int64, 1)
+	var r *Rank
+	w.Run(func(rank *Rank) { r = rank })
+	// Warm the freelist, then measure.
+	q := g.IAlltoallv(r, send, "a2a", false)
+	q.WaitMat()
+	allocs := testing.AllocsPerRun(100, func() {
+		q := g.IAlltoallv(r, send, "a2a", false)
+		q.WaitMat()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state nonblocking round allocates %v times", allocs)
+	}
+}

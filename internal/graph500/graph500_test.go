@@ -117,3 +117,77 @@ func TestValidateOutput(t *testing.T) {
 		t.Error("corrupted output accepted")
 	}
 }
+
+// TestValidateOutputErrorBranches covers each Graph 500 validation rule
+// through the official entry point, on a path graph with one isolated
+// vertex so every corruption class is constructible: bad parent root,
+// distance gaps above one, and unreachable-but-parented vertices.
+func TestValidateOutputErrorBranches(t *testing.T) {
+	// 0-1-2-3 path; vertex 4 isolated.
+	el := (&graph.EdgeList{NumVerts: 5, Edges: []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3},
+	}}).Symmetrize()
+	ref, err := graph.BuildCSR(el, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := serial.BFS(ref, 0)
+	fresh := func() (dist, parent []int64) {
+		return append([]int64(nil), base.Dist...), append([]int64(nil), base.Parent...)
+	}
+
+	if err := ValidateOutput(ref, 0, base.Dist, base.Parent); err != nil {
+		t.Fatalf("valid output rejected: %v", err)
+	}
+
+	// Rule 4: the root must be its own parent at distance zero.
+	dist, parent := fresh()
+	parent[0] = 1
+	if err := ValidateOutput(ref, 0, dist, parent); err == nil {
+		t.Error("bad parent root accepted")
+	}
+	dist, parent = fresh()
+	dist[0] = 1
+	if err := ValidateOutput(ref, 0, dist, parent); err == nil {
+		t.Error("nonzero source distance accepted")
+	}
+
+	// Rule 2/3: a tree edge (and graph edge) may span at most one level.
+	dist, parent = fresh()
+	dist[3] = dist[3] + 1 // gap of 2 across edge (2,3)
+	if err := ValidateOutput(ref, 0, dist, parent); err == nil {
+		t.Error("distance gap > 1 accepted")
+	}
+
+	// Rule 1: the claimed parent must be adjacent.
+	dist, parent = fresh()
+	parent[3] = 0
+	dist[3] = 1
+	if err := ValidateOutput(ref, 0, dist, parent); err == nil {
+		t.Error("non-edge parent accepted")
+	}
+
+	// Rule 4: an unreachable vertex must not carry a parent (and the
+	// other way around).
+	dist, parent = fresh()
+	parent[4] = 0
+	if err := ValidateOutput(ref, 0, dist, parent); err == nil {
+		t.Error("unreachable-but-parented vertex accepted")
+	}
+	dist, parent = fresh()
+	dist[4] = 1
+	if err := ValidateOutput(ref, 0, dist, parent); err == nil {
+		t.Error("reachable-but-parentless vertex accepted")
+	}
+
+	// Rule 5: distances must match the independent reference, even when
+	// internally consistent. A wrong-but-consistent labeling: claim the
+	// whole path unreachable except the source.
+	dist, parent = fresh()
+	for v := 1; v < 4; v++ {
+		dist[v], parent[v] = serial.Unreached, serial.Unreached
+	}
+	if err := ValidateOutput(ref, 0, dist, parent); err == nil {
+		t.Error("reachable set mismatch accepted")
+	}
+}

@@ -113,6 +113,17 @@ type Config struct {
 	// by ~√p. Only meaningful for the 2D variants (the 1D pull needs
 	// the global bitmap) with DirOpt set; ignored otherwise.
 	PartitionedBitmap bool
+	// Overlap prices the chunked nonblocking frontier exchange (the
+	// paper's Section 6 overlap evaluation): the bandwidth share of the
+	// per-level exchanges hides under the local computation posted
+	// between chunks, so the hidden time is min(overlappable comm,
+	// overlappable comp), bounded by whichever side runs out first. The
+	// pipeline pays OverlapChunks-1 follow-on injection latencies per
+	// overlapped phase. Ignored by the comparator codes.
+	Overlap bool
+	// OverlapChunks is the pipeline depth used when Overlap is set;
+	// values below 2 default to 4.
+	OverlapChunks int
 }
 
 // Breakdown is a predicted per-search execution profile.
@@ -120,10 +131,14 @@ type Breakdown struct {
 	Comp  float64 // local computation seconds
 	Comm  float64 // total communication seconds
 	Phase map[string]float64
-	Total float64
-	GTEPS float64
-	Ranks int
-	Grid  [2]int // pr, pc for 2D variants
+	// Hidden is the communication time the overlapped schedule hides
+	// under local computation (zero without Config.Overlap); Total
+	// already subtracts it.
+	Hidden float64
+	Total  float64
+	GTEPS  float64
+	Ranks  int
+	Grid   [2]int // pr, pc for 2D variants
 }
 
 // ranksAndThreads maps a core count to (ranks, threads) for the variant.
@@ -313,15 +328,41 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 	// identical for flat and hybrid, while the latency term and the
 	// torus-contention degradation shrink with the hybrid's smaller p.
 	rpn := float64(cfg.Machine.CoresPerNode) / t
-	a2a := a2aLevels*float64(p)*m.AlphaNet*fac.latency +
-		rScan*rpn*torus(m, m.BetaA2A, float64(p))*fac.commVol
+	a2aBW := rScan * rpn * torus(m, m.BetaA2A, float64(p)) * fac.commVol
+	a2a := a2aLevels*float64(p)*m.AlphaNet*fac.latency + a2aBW
 	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
 
 	phases := map[string]float64{"a2a": a2a, "allreduce": allred}
 	if dirOpt {
 		phases["bitmap"] = bitmapPhase(m, wl, int(p))
 	}
-	return finish(cfg, wl, comp, phases, [2]int{int(p), 1})
+
+	// Overlapped communication (tuned variants only): the all-to-all is
+	// chunked, and chunk i's integration — one stream pass plus one
+	// random reference per received pair — hides under chunk i+1's
+	// bandwidth. A K-deep pipeline exposes its first chunk's
+	// communication and last chunk's integration, so only the (K-1)/K
+	// share of either side can hide; the pipeline pays K-1 follow-on
+	// injection latencies per chunked level. With direction
+	// optimization, the bottom-up levels additionally hide the
+	// distance/parent/visited commit under the (unchunked) bitmap
+	// allgather.
+	var hidden float64
+	if cfg.Overlap && (cfg.Algo == OneDFlat || cfg.Algo == OneDHybrid) {
+		k := cfg.overlapChunks()
+		ovComp := (rScan*m.BetaMem + rScan/2*m.AlphaMem(nloc)) /
+			threadSpeedup(t, eScan/float64(wl.Levels))
+		hidden = math.Min(a2aBW, ovComp) * (k - 1) / k
+		phases["a2a"] += (k - 1) * a2aLevels * m.AlphaNet
+		if dirOpt {
+			bitmapBW := phases["bitmap"] - float64(wl.HeavyLevels)*float64(p)*m.AlphaNet
+			commit := float64(nloc) * m.BetaMem * float64(wl.HeavyLevels)
+			if bitmapBW > 0 {
+				hidden += math.Min(bitmapBW, commit)
+			}
+		}
+	}
+	return finish(cfg, wl, comp, phases, [2]int{int(p), 1}, hidden)
 }
 
 // predict2D models Algorithm 3 with the 2D vector distribution. The
@@ -394,10 +435,10 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 	// communication advantage of the 2D decomposition. Bandwidth terms
 	// carry the NIC-sharing factor like the 1D model.
 	rpn := float64(cfg.Machine.CoresPerNode) / t
-	expand := tdLevels*pr*m.AlphaNet +
-		float64(expandWords)*tdShare*rpn*torus(m, m.BetaAG, pr)
-	fold := float64(wl.Levels)*pc*m.AlphaNet +
-		float64(foldWords)*rpn*torus(m, m.BetaA2A, pc)
+	expandBW := float64(expandWords) * tdShare * rpn * torus(m, m.BetaAG, pr)
+	expand := tdLevels*pr*m.AlphaNet + expandBW
+	foldBW := float64(foldWords) * rpn * torus(m, m.BetaA2A, pc)
+	fold := float64(wl.Levels)*pc*m.AlphaNet + foldBW
 	transpose := tdLevels*m.AlphaNet +
 		float64(transposeWords)*tdShare*rpn*m.BetaP2P
 	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
@@ -412,7 +453,45 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 			phases["bitmap"] = bitmapPhase(m, wl, int(p))
 		}
 	}
-	return finish(cfg, wl, comp, phases, [2]int{int(pr), int(pc)})
+
+	// Overlapped communication: the pipelined expand/SpMSV/fold hides
+	// the expand and fold bandwidth under the chunked local multiply
+	// (scatter probes, streams, and instruction work — the eScan-
+	// proportional share of comp), (K-1)/K of either side, at the price
+	// of K-1 follow-on injections on each of the two exchanges per
+	// chunked level. With direction optimization the bottom-up levels
+	// hide the visited-slice fold (2·n/(64·pr) streamed words per heavy
+	// level) under the column bitmap hop.
+	var hidden float64
+	if cfg.Overlap {
+		k := cfg.overlapChunks()
+		ovComp := (eScan*m.AlphaMem(stripWS) + (eScan+2*float64(foldWords))*m.BetaMem +
+			eScan/m.ComputeRate) / threadSpeedup(t, eScan/float64(wl.Levels))
+		// expandBW already carries the top-down share (it is scaled by
+		// tdShare above); the fold runs in both directions, so only its
+		// top-down-level share is chunk-hideable.
+		hidden = math.Min(expandBW+foldBW*tdShare2(dirOpt), ovComp) * (k - 1) / k
+		phases["expand"] += (k - 1) * tdLevels * m.AlphaNet
+		phases["fold"] += (k - 1) * tdLevels * m.AlphaNet
+		if dirOpt && cfg.PartitionedBitmap {
+			h := float64(wl.HeavyLevels)
+			words := float64((wl.N + 63) / 64)
+			colBW := h * (words / pc) * torus(m, m.BetaAG, pr)
+			visOR := h * 2 * (words / pr) * m.BetaMem
+			hidden += math.Min(colBW, visOR)
+		}
+	}
+	return finish(cfg, wl, comp, phases, [2]int{int(pr), int(pc)}, hidden)
+}
+
+// tdShare2 scales the hideable top-down bandwidth: with direction
+// optimization only the light top-down levels run the pipelined
+// expand/fold, so only their share of the bandwidth is hideable.
+func tdShare2(dirOpt bool) float64 {
+	if dirOpt {
+		return 1 - dirOptHeavyShare
+	}
+	return 1
 }
 
 // predictPBGL models the PBGL comparator: 1D dataflow with fat serialized
@@ -436,7 +515,7 @@ func predictPBGL(cfg Config, wl Workload) Breakdown {
 		float64(remoteEdges)/pbglBatchEdges*m.AlphaNet + // eager small messages
 		float64(msgWords)*rpn*torus(m, m.BetaA2A, float64(p))
 	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
-	return finish(cfg, wl, comp, map[string]float64{"a2a": a2a, "allreduce": allred}, [2]int{int(p), 1})
+	return finish(cfg, wl, comp, map[string]float64{"a2a": a2a, "allreduce": allred}, [2]int{int(p), 1}, 0)
 }
 
 // torus applies the participant-dependent bandwidth degradation without
@@ -448,14 +527,26 @@ func torus(m *netmodel.Machine, beta float64, p float64) float64 {
 	return beta * math.Pow(p/m.TorusRefP, m.TorusExp)
 }
 
-func finish(cfg Config, wl Workload, comp float64, phases map[string]float64, grid [2]int) Breakdown {
-	b := Breakdown{Comp: comp, Phase: phases, Grid: grid}
+func finish(cfg Config, wl Workload, comp float64, phases map[string]float64, grid [2]int, hidden float64) Breakdown {
+	b := Breakdown{Comp: comp, Phase: phases, Grid: grid, Hidden: hidden}
 	for _, v := range phases {
 		b.Comm += v
 	}
-	b.Total = b.Comp + b.Comm
+	if max := math.Min(b.Comp, b.Comm); b.Hidden > max {
+		// Hiding is bounded by whichever side runs out first.
+		b.Hidden = max
+	}
+	b.Total = b.Comp + b.Comm - b.Hidden
 	b.GTEPS = float64(wl.M) / b.Total / 1e9
 	ranks, _ := cfg.ranksAndThreads()
 	b.Ranks = ranks
 	return b
+}
+
+// overlapChunks returns the configured pipeline depth (default 4).
+func (c Config) overlapChunks() float64 {
+	if c.OverlapChunks >= 2 {
+		return float64(c.OverlapChunks)
+	}
+	return 4
 }

@@ -9,6 +9,7 @@ package pbfs
 //	go test -bench=BFSLevelLoop -benchmem
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bfs1d"
@@ -40,7 +41,7 @@ func levelLoopSource(b *testing.B, el *graph.EdgeList) int64 {
 	return srcs[0]
 }
 
-func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir dirheur.Mode) {
+func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir dirheur.Mode, overlap int) {
 	b.Helper()
 	el, err := rmat.Graph500(levelLoopScale, 16, 0xbf).GenerateUndirected()
 	if err != nil {
@@ -73,7 +74,7 @@ func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir
 		w.Reset()
 		out, err := bfs2d.Run(w, grid, dg, src, bfs2d.Options{
 			Threads: threads, Kernel: kernel, Price: machine, Arena: &arena,
-			Direction: dir,
+			Direction: dir, OverlapChunks: overlap,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -84,7 +85,7 @@ func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir
 	}
 }
 
-func benchLevelLoop1D(b *testing.B, ranks, threads int, dir dirheur.Mode) {
+func benchLevelLoop1D(b *testing.B, ranks, threads int, dir dirheur.Mode, overlap int) {
 	b.Helper()
 	el, err := rmat.Graph500(levelLoopScale, 16, 0xbf).GenerateUndirected()
 	if err != nil {
@@ -101,6 +102,7 @@ func benchLevelLoop1D(b *testing.B, ranks, threads int, dir dirheur.Mode) {
 	opt.Threads = threads
 	opt.Price = machine
 	opt.Direction = dir
+	opt.OverlapChunks = overlap
 	opt.Arena = &bfs1d.Arena{}
 	defer opt.Arena.Close()
 	w := cluster.NewWorld(ranks, machine)
@@ -118,18 +120,44 @@ func benchLevelLoop1D(b *testing.B, ranks, threads int, dir dirheur.Mode) {
 // Top-down-only rows: the PR 1 baselines, and the configuration the
 // paper evaluates.
 func BenchmarkBFSLevelLoop2DFlat(b *testing.B) {
-	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeTopDown)
+	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeTopDown, 0)
 }
 func BenchmarkBFSLevelLoop2DHybrid(b *testing.B) {
-	benchLevelLoop2D(b, 16, 4, spmat.KernelAuto, dirheur.ModeTopDown)
+	benchLevelLoop2D(b, 16, 4, spmat.KernelAuto, dirheur.ModeTopDown, 0)
 }
-func BenchmarkBFSLevelLoop1DFlat(b *testing.B)   { benchLevelLoop1D(b, 16, 1, dirheur.ModeTopDown) }
-func BenchmarkBFSLevelLoop1DHybrid(b *testing.B) { benchLevelLoop1D(b, 16, 4, dirheur.ModeTopDown) }
+func BenchmarkBFSLevelLoop1DFlat(b *testing.B)   { benchLevelLoop1D(b, 16, 1, dirheur.ModeTopDown, 0) }
+func BenchmarkBFSLevelLoop1DHybrid(b *testing.B) { benchLevelLoop1D(b, 16, 4, dirheur.ModeTopDown, 0) }
 
 // Direction-optimized rows: the library default since PR 2.
 func BenchmarkBFSLevelLoop2DFlatAuto(b *testing.B) {
-	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeAuto)
+	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeAuto, 0)
 }
 func BenchmarkBFSLevelLoop1DFlatAuto(b *testing.B) {
-	benchLevelLoop1D(b, 16, 1, dirheur.ModeAuto)
+	benchLevelLoop1D(b, 16, 1, dirheur.ModeAuto, 0)
+}
+
+// Overlapped rows: the chunked nonblocking exchanges (PR 5). These
+// track the real wall-clock cost of the pipelined schedule — request
+// bookkeeping, chunk splitting, the cross-chunk dedup filter — which
+// simulated time does not capture.
+func BenchmarkBFSLevelLoop1DFlatAutoOverlap(b *testing.B) {
+	benchLevelLoop1D(b, 16, 1, dirheur.ModeAuto, 4)
+}
+func BenchmarkBFSLevelLoop2DFlatAutoOverlap(b *testing.B) {
+	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeAuto, 4)
+}
+
+// BenchmarkBFSLevelLoop1DHybridSingleCore isolates the PR 1 regression
+// note: pinned to one scheduler thread, the hybrid variant's worker
+// team is pure synchronization overhead over the flat loop, so this
+// row divided by BenchmarkBFSLevelLoop1DFlat is the single-core hybrid
+// tax. The gated BENCH field (hybrid_overhead_1d, scripts/benchcmp) is
+// computed from the warm-session ns/op ratio at the host's default
+// parallelism — on the single-core CI host that coincides with this
+// pinned measurement; on a multicore dev box this benchmark is the way
+// to reproduce the single-core tax the field tracks in CI.
+func BenchmarkBFSLevelLoop1DHybridSingleCore(b *testing.B) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	benchLevelLoop1D(b, 16, 4, dirheur.ModeTopDown, 0)
 }

@@ -1,0 +1,156 @@
+package pbfs
+
+import "testing"
+
+// TestProjectRMATOverlap pins the modeled overlap benefit at paper
+// scale: on the communication-avoiding 2D variants the exchanges stay
+// bandwidth-bound past a thousand cores, so the hidden time's share of
+// the total grows with core count — the paper's observation that
+// overlap recovers an increasing fraction of communication time at
+// scale — until the shrinking per-rank computation becomes the binding
+// side and the gain decays again.
+func TestProjectRMATOverlap(t *testing.T) {
+	const scale, ef = 26, 16
+	gain := func(algo Algorithm, cores int) float64 {
+		base, err := ProjectRMAT("franklin", cores, algo, scale, ef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov, err := ProjectRMATOverlap("franklin", cores, algo, scale, ef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov.HiddenTime <= 0 {
+			t.Fatalf("%v at %d cores: no hidden time", algo, cores)
+		}
+		if ov.HiddenTime > ov.CommTime || ov.HiddenTime > ov.ComputeTime {
+			t.Fatalf("%v at %d cores: hidden %.4g exceeds comm %.4g or comp %.4g",
+				algo, cores, ov.HiddenTime, ov.CommTime, ov.ComputeTime)
+		}
+		return base.TotalTime / ov.TotalTime
+	}
+
+	// The modeled gain grows with core count on the 2D variants while
+	// the exchanges are bandwidth-bound.
+	for _, algo := range []Algorithm{TwoDFlat, TwoDHybrid} {
+		prev := 1.0
+		for _, cores := range []int{128, 512, 2048} {
+			g := gain(algo, cores)
+			if g <= prev {
+				t.Errorf("%v: overlap gain %.4f at %d cores does not grow (prev %.4f)",
+					algo, g, cores, prev)
+			}
+			prev = g
+		}
+	}
+	// Every tuned variant benefits at every probed concurrency; the 1D
+	// gain instead peaks early — its integration compute (the hideable
+	// side) shrinks faster than the all-to-all bandwidth — which is why
+	// the paper pairs overlap with the 2D decomposition at scale.
+	for _, algo := range []Algorithm{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid} {
+		for _, cores := range []int{128, 1024, 4096} {
+			if g := gain(algo, cores); g <= 1 {
+				t.Errorf("%v at %d cores: overlap gain %.4f <= 1", algo, cores, g)
+			}
+		}
+	}
+	if g1, g2 := gain(OneDFlat, 256), gain(OneDFlat, 4096); g1 <= g2 {
+		t.Errorf("1D gain should decay at scale: %.4f at 256 vs %.4f at 4096 cores", g1, g2)
+	}
+}
+
+// TestOverlapThroughSession pins the facade contract: Options.Overlap
+// selects a distinct engine (it changes collective schedules), produces
+// bit-identical distances and identical modeled comm volumes, and never
+// prices slower than the blocking schedule.
+func TestOverlapThroughSession(t *testing.T) {
+	g, err := NewRMATGraph(12, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.Sources(1, 2)[0]
+	sess := NewSession()
+	defer sess.Close()
+	for _, algo := range []Algorithm{OneDFlat, OneDHybrid, TwoDFlat, TwoDHybrid} {
+		opt := Options{Algorithm: algo, Ranks: 4, Machine: "franklin"}
+		base, err := sess.Search(g, src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Overlap = 4
+		ov, err := sess.Search(g, src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range base.Dist {
+			if ov.Dist[v] != base.Dist[v] {
+				t.Fatalf("%v: overlap changed dist[%d]: %d vs %d", algo, v, ov.Dist[v], base.Dist[v])
+			}
+		}
+		if err := g.Validate(ov); err != nil {
+			t.Fatalf("%v: overlapped result invalid: %v", algo, err)
+		}
+		if ov.SentWords != base.SentWords || ov.RecvWords != base.RecvWords {
+			t.Fatalf("%v: overlap changed comm volume: %d/%d vs %d/%d",
+				algo, ov.SentWords, ov.RecvWords, base.SentWords, base.RecvWords)
+		}
+		if ov.SimTime > base.SimTime*(1+1e-9) {
+			t.Errorf("%v: overlapped sim %.9g slower than blocking %.9g", algo, ov.SimTime, base.SimTime)
+		}
+	}
+}
+
+// TestOverlapLayoutKey: Overlap is part of the engine cache key (the
+// chunked schedule needs its own request arenas), while values below 2
+// and comparator algorithms normalize to the blocking engine.
+func TestOverlapLayoutKey(t *testing.T) {
+	base, err := resolveLayout(Options{Algorithm: OneDFlat, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ov := range []int{0, 1, -3} {
+		lay, err := resolveLayout(Options{Algorithm: OneDFlat, Ranks: 4, Overlap: ov})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lay != base {
+			t.Errorf("Overlap=%d resolved to a distinct engine key", ov)
+		}
+	}
+	lay, err := resolveLayout(Options{Algorithm: OneDFlat, Ranks: 4, Overlap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay == base {
+		t.Error("Overlap=4 shares the blocking engine key")
+	}
+	for _, algo := range []Algorithm{Reference, PBGL} {
+		with, err := resolveLayout(Options{Algorithm: algo, Ranks: 4, Overlap: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := resolveLayout(Options{Algorithm: algo, Ranks: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with != without {
+			t.Errorf("%v: Overlap leaked into a comparator engine key", algo)
+		}
+	}
+	diag, err := resolveLayout(Options{Algorithm: TwoDFlat, Ranks: 4, DiagonalVectors: true, Overlap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.overlap != 0 {
+		t.Error("DiagonalVectors engine kept an overlap key")
+	}
+	// DiagonalVectors is meaningless (and normalized away) for non-2D
+	// algorithms, so it must not silently disable a 1D run's overlap.
+	oneDDiag, err := resolveLayout(Options{Algorithm: OneDFlat, Ranks: 4, DiagonalVectors: true, Overlap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneDDiag.overlap != 4 {
+		t.Error("stray DiagonalVectors flag disabled 1D overlap")
+	}
+}

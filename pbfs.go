@@ -263,8 +263,12 @@ type Result struct {
 	SimTime  float64
 	CommTime float64
 	// CommByPhase breaks communication down by collective tag
-	// (a2a/expand/fold/transpose/allreduce).
+	// (a2a/expand/fold/transpose/bitmap/allreduce).
 	CommByPhase map[string]float64
+	// SentWords and RecvWords total the words every rank entered into
+	// and received from collectives: the modeled communication volume.
+	// Options.Overlap changes when the words move, never how many.
+	SentWords, RecvWords int64
 	// LevelFrontier, when Options.Trace is set, holds the number of
 	// vertices discovered at each level (the frontier-size profile).
 	LevelFrontier []int64
@@ -275,6 +279,11 @@ type Result struct {
 	// nothing).
 	LevelScanned  []int64
 	LevelBottomUp []bool
+	// LevelCommWords, when Options.Trace is set on a 1D or 2D run,
+	// holds the words entered into collectives at each executed
+	// iteration, summed over ranks: the per-level communication volume
+	// profile, identical for every Options.Overlap setting.
+	LevelCommWords []int64
 }
 
 // TEPS returns the traversed-edges-per-second rate of the result.

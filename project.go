@@ -14,8 +14,12 @@ type Projection struct {
 	TotalTime   float64
 	ComputeTime float64
 	CommTime    float64
-	Phases      map[string]float64
-	Ranks       int
+	// HiddenTime is the communication the overlapped schedule hides
+	// under computation (zero unless projected with overlap); TotalTime
+	// already subtracts it.
+	HiddenTime float64
+	Phases     map[string]float64
+	Ranks      int
 }
 
 // ProjectRMAT predicts the per-search profile of the given algorithm on
@@ -39,7 +43,7 @@ func ProjectWebCrawl(machine string, cores int, algo Algorithm) (*Projection, er
 // exposes the crossover where the n/64-word bitmap volume overtakes the
 // shrinking per-rank all-to-all volume at high core counts.
 func ProjectRMATDirOpt(machine string, cores int, algo Algorithm, scale, edgeFactor int) (*Projection, error) {
-	return projectCfg(machine, cores, algo, true, false, perfmodel.RMATWorkload(scale, edgeFactor))
+	return projectCfg(machine, cores, algo, true, false, false, perfmodel.RMATWorkload(scale, edgeFactor))
 }
 
 // ProjectRMATDirOptPartitioned is ProjectRMATDirOpt with the bottom-up
@@ -51,14 +55,28 @@ func ProjectRMATDirOpt(machine string, cores int, algo Algorithm, scale, edgeFac
 // variants partition (the 1D pull needs the global bitmap); others are
 // priced as ProjectRMATDirOpt.
 func ProjectRMATDirOptPartitioned(machine string, cores int, algo Algorithm, scale, edgeFactor int) (*Projection, error) {
-	return projectCfg(machine, cores, algo, true, true, perfmodel.RMATWorkload(scale, edgeFactor))
+	return projectCfg(machine, cores, algo, true, true, false, perfmodel.RMATWorkload(scale, edgeFactor))
+}
+
+// ProjectRMATOverlap is ProjectRMAT with overlapped communication
+// priced in: the frontier exchanges are chunked into nonblocking
+// pipelines whose bandwidth hides under the chunked local computation
+// (min(overlappable comm, overlappable comp) of the (K-1)/K pipeline
+// share, K = 4), at the price of K-1 follow-on injection latencies per
+// chunked exchange. Projected without direction optimization — the
+// configuration the paper evaluates overlap on — so comparing it
+// against ProjectRMAT isolates the modeled overlap benefit, which
+// grows with core count while the exchanges stay bandwidth-bound
+// (TestProjectRMATOverlap pins the trend).
+func ProjectRMATOverlap(machine string, cores int, algo Algorithm, scale, edgeFactor int) (*Projection, error) {
+	return projectCfg(machine, cores, algo, false, false, true, perfmodel.RMATWorkload(scale, edgeFactor))
 }
 
 func project(machine string, cores int, algo Algorithm, wl perfmodel.Workload) (*Projection, error) {
-	return projectCfg(machine, cores, algo, false, false, wl)
+	return projectCfg(machine, cores, algo, false, false, false, wl)
 }
 
-func projectCfg(machine string, cores int, algo Algorithm, dirOpt, partitioned bool, wl perfmodel.Workload) (*Projection, error) {
+func projectCfg(machine string, cores int, algo Algorithm, dirOpt, partitioned, overlap bool, wl perfmodel.Workload) (*Projection, error) {
 	m, ok := netmodel.Profiles()[machine]
 	if !ok {
 		return nil, fmt.Errorf("pbfs: unknown machine %q", machine)
@@ -68,13 +86,14 @@ func projectCfg(machine string, cores int, algo Algorithm, dirOpt, partitioned b
 	}
 	b := perfmodel.Predict(perfmodel.Config{
 		Machine: m, Cores: cores, Algo: perfmodel.Algo(algo), DirOpt: dirOpt,
-		PartitionedBitmap: partitioned,
+		PartitionedBitmap: partitioned, Overlap: overlap,
 	}, wl)
 	return &Projection{
 		GTEPS:       b.GTEPS,
 		TotalTime:   b.Total,
 		ComputeTime: b.Comp,
 		CommTime:    b.Comm,
+		HiddenTime:  b.Hidden,
 		Phases:      b.Phase,
 		Ranks:       b.Ranks,
 	}, nil

@@ -42,6 +42,18 @@ type Options struct {
 	// DiagonalVectors switches the 2D variants to the diagonal-only
 	// vector distribution (the Figure 4 imbalance configuration).
 	DiagonalVectors bool
+	// Overlap, when >= 2, overlaps communication with computation in the
+	// 1D and 2D drivers (the paper's Section 6 overlap evaluation): each
+	// level's frontier exchange is split into Overlap chunks posted as
+	// nonblocking collectives, and local work on chunk i runs while
+	// chunk i+1 is in flight, pricing each chunk at max(compute, comm)
+	// instead of their sum. Distances, traversal work, and exchanged
+	// volumes are identical to the blocking schedule (parent choices may
+	// differ between valid BFS trees); on levels too light to amortize
+	// the extra injection latencies the drivers fall back to the
+	// blocking exchange. Part of the engine cache key. Ignored by the
+	// Reference and PBGL comparators and by DiagonalVectors.
+	Overlap int
 	// Trace records the per-level discovery counts into the result.
 	Trace bool
 }

@@ -36,11 +36,20 @@ type result struct {
 	Config       string  `json:"config"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	BatchSpeedup float64 `json:"batch_speedup"`
+	// Overlapped-communication record: simulated (deterministic)
+	// blocking/overlapped time ratio, gated tightly — overlap must
+	// never price a configuration slower than its blocking schedule.
+	OverlapChunks  int     `json:"overlap_chunks"`
+	OverlapSpeedup float64 `json:"overlap_speedup"`
 }
 
 type report struct {
 	Scale   int      `json:"scale"`
 	Results []result `json:"results"`
+	// HybridOverhead1D is the wall-clock 1d-hybrid/1d-flat ratio (the
+	// PR 1 single-core regression note); its trajectory is gated
+	// loosely because it shares the host with other CI jobs.
+	HybridOverhead1D float64 `json:"hybrid_overhead_1d"`
 }
 
 // tolerances bound how far a candidate metric may drift from baseline.
@@ -49,10 +58,15 @@ type tolerances struct {
 	allocSlack   float64 // absolute allocs/op slack on top of the ratio
 	speedupDrop  float64 // relative batch_speedup drop allowed (e.g. 0.6)
 	speedupFloor float64 // speedups below this are never compared (degenerate hosts)
+	overlapFloor float64 // overlap_speedup below this fails (simulated, so tight)
+	hybridGrow   float64 // relative 1d hybrid/flat overhead growth allowed (wall clock)
 }
 
 func defaultTolerances() tolerances {
-	return tolerances{allocGrow: 0.25, allocSlack: 16, speedupDrop: 0.6, speedupFloor: 2}
+	return tolerances{
+		allocGrow: 0.25, allocSlack: 16, speedupDrop: 0.6, speedupFloor: 2,
+		overlapFloor: 0.999999, hybridGrow: 0.5,
+	}
 }
 
 // compare returns one message per regressed metric; an empty slice
@@ -83,6 +97,17 @@ func compare(base, cand *report, tol tolerances) []string {
 					b.Config, c.BatchSpeedup, b.BatchSpeedup, tol.speedupDrop*100, floor))
 			}
 		}
+		// Simulated times are deterministic, so the overlap gate needs
+		// no wall-clock slack: an overlapped schedule pricing slower
+		// than its blocking counterpart is a scheduling regression.
+		if c.OverlapChunks >= 2 && c.OverlapSpeedup < tol.overlapFloor {
+			bad = append(bad, fmt.Sprintf("%s: overlap_speedup %.6f below %.6f (overlap priced slower than blocking)",
+				b.Config, c.OverlapSpeedup, tol.overlapFloor))
+		}
+	}
+	if base.HybridOverhead1D > 0 && cand.HybridOverhead1D > base.HybridOverhead1D*(1+tol.hybridGrow) {
+		bad = append(bad, fmt.Sprintf("hybrid_overhead_1d %.2fx exceeds baseline %.2fx (+%.0f%%)",
+			cand.HybridOverhead1D, base.HybridOverhead1D, tol.hybridGrow*100))
 	}
 	return bad
 }

@@ -125,3 +125,46 @@ func TestLoadCommittedBaseline(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareOverlapAndHybridGates covers the PR 5 additions: a
+// configuration whose overlapped schedule prices slower than blocking
+// fails tightly (sim is deterministic), and a collapsing 1D hybrid
+// single-core overhead trips its loose wall-clock gate.
+func TestCompareOverlapAndHybridGates(t *testing.T) {
+	tol := defaultTolerances()
+	base := &report{Scale: 16, HybridOverhead1D: 1.1, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, OverlapChunks: 4, OverlapSpeedup: 1.02},
+	}}
+
+	ok := &report{HybridOverhead1D: 1.2, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, OverlapChunks: 4, OverlapSpeedup: 1.01},
+	}}
+	if bad := compare(base, ok, tol); len(bad) != 0 {
+		t.Fatalf("healthy overlap candidate flagged: %v", bad)
+	}
+
+	slowOverlap := &report{HybridOverhead1D: 1.1, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, OverlapChunks: 4, OverlapSpeedup: 0.97},
+	}}
+	bad := compare(base, slowOverlap, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "overlap_speedup") {
+		t.Fatalf("slower-than-blocking overlap not flagged: %v", bad)
+	}
+
+	// A candidate that stopped measuring overlap (chunks 0) is not
+	// compared — the row may come from a -overlap 0 run.
+	unmeasured := &report{HybridOverhead1D: 1.1, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188},
+	}}
+	if bad := compare(base, unmeasured, tol); len(bad) != 0 {
+		t.Fatalf("unmeasured overlap flagged: %v", bad)
+	}
+
+	hybridBlowup := &report{HybridOverhead1D: 2.5, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, OverlapChunks: 4, OverlapSpeedup: 1.02},
+	}}
+	bad = compare(base, hybridBlowup, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "hybrid_overhead_1d") {
+		t.Fatalf("hybrid overhead blowup not flagged: %v", bad)
+	}
+}

@@ -53,17 +53,24 @@ echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./...
+# -shuffle=on randomizes test and subtest execution order, so hidden
+# inter-test state (shared arenas, package-level caches) surfaces in CI
+# instead of in a user's tree; a failing run prints the shuffle seed
+# for replay.
+go test -shuffle=on ./...
 
 echo "== race smoke (session reuse + collective substrate) =="
 # Small-scale race check over the paths where goroutine ranks, worker
 # pools, and cross-search arenas interlock: the session-reuse and
-# rectangular-grid tests at the facade, the cluster substrate's own
-# suite (including the grid subcommunicator collectives), and the 2D
-# driver's rectangular transpose/partitioned-bitmap paths.
+# rectangular-grid tests at the facade, the randomized conformance
+# harness (-short trims its graph stream; it drives every driver's
+# nonblocking overlap pipeline), the cluster substrate's own suite
+# (including the nonblocking post/wait collectives), and the 2D
+# driver's rectangular transpose/partitioned-bitmap/overlap paths.
 go test -race -run 'Session|CrossShape|RectGrid' .
+go test -race -short -run 'Conformance' .
 go test -race ./internal/cluster ./internal/smp
-go test -race -run 'Rect' ./internal/bfs2d
+go test -race -run 'Rect|Overlap' ./internal/bfs2d
 
 echo "== bench smoke (BFS level loops, 1 iteration) =="
 go test -run '^$' -bench=BFS -benchtime=1x -benchmem .

@@ -40,6 +40,61 @@ func TestTraceProfiles(t *testing.T) {
 	}
 }
 
+// TestCommVolumeTraceGolden pins the per-level communication volume
+// profile of both distributed drivers on a fixed instance, and asserts
+// that overlap chunking K ∈ {2, 4, 8} reproduces it bit-for-bit: the
+// chunked schedules move exactly the same words at every level, only
+// their timing against the in-flight computation changes. The golden
+// rows also document the direction-optimization story — under Auto the
+// heavy middle levels exchange a dense bitmap instead of the sparse
+// volumes visible in the top-down rows.
+func TestCommVolumeTraceGolden(t *testing.T) {
+	g, err := NewRMATGraph(10, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.Sources(1, 9)[0]
+	golden := []struct {
+		algo  Algorithm
+		dir   Direction
+		words []int64
+	}{
+		{OneDFlat, Auto, []int64{2, 582, 32, 16, 18}},
+		{OneDFlat, TopDownOnly, []int64{2, 582, 2856, 912, 18}},
+		{TwoDFlat, Auto, []int64{4, 747, 1068, 50, 33}},
+		{TwoDFlat, TopDownOnly, []int64{4, 747, 2900, 1406, 33}},
+	}
+	sess := NewSession()
+	defer sess.Close()
+	for _, gc := range golden {
+		for _, chunks := range []int{0, 2, 4, 8} {
+			res, err := sess.Search(g, src, Options{
+				Algorithm: gc.algo, Ranks: 4, Machine: "franklin",
+				Direction: gc.dir, Overlap: chunks, Trace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.LevelCommWords) != len(gc.words) {
+				t.Fatalf("%v/%v K=%d: %d traced levels, want %d (%v)",
+					gc.algo, gc.dir, chunks, len(res.LevelCommWords), len(gc.words), res.LevelCommWords)
+			}
+			var sum int64
+			for l, w := range res.LevelCommWords {
+				sum += w
+				if w != gc.words[l] {
+					t.Errorf("%v/%v K=%d level %d: %d words, golden %d",
+						gc.algo, gc.dir, chunks, l+1, w, gc.words[l])
+				}
+			}
+			if sum != res.SentWords {
+				t.Errorf("%v/%v K=%d: per-level volumes sum to %d, total %d",
+					gc.algo, gc.dir, chunks, sum, res.SentWords)
+			}
+		}
+	}
+}
+
 func TestTraceOffByDefault(t *testing.T) {
 	g := testGraph(t)
 	res, err := g.BFS(g.Sources(1, 1)[0], Options{Algorithm: OneDFlat, Ranks: 4})
