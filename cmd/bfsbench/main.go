@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -40,8 +42,35 @@ func main() {
 		benchOut   = flag.String("bench-out", "", "write wall-clock level-loop benchmarks to this JSON file (e.g. BENCH_bfs.json) and exit")
 		benchScale = flag.Int("bench-scale", 16, "R-MAT scale for -bench-out")
 		overlap    = flag.Int("overlap", 4, "chunk count for the -bench-out overlapped-communication rows (<2 skips them)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Snapshot the heap after the measured work, on the way out.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	if *benchScale < 4 || *benchScale > 24 {
 		// Below scale 4 the 16-rank instances degenerate (fewer vertices
 		// than ranks); above 24 a laptop-scale wall-clock run is not

@@ -243,3 +243,165 @@ func conformanceOneGraph(t *testing.T, seed int64) {
 		t.Logf("graph: %s, source %d, ranks %d", desc, src, ranks)
 	}
 }
+
+// batchConformanceGraphs is the seed count for the batched lane; the
+// matrix below is wider per seed (four batch widths per configuration),
+// so the stream is shorter than the sequential lane's. The seed space is
+// shared with TestConformance: PBFS_CONFORMANCE_SEED replays either.
+const batchConformanceGraphs = 12
+
+// TestBatchConformance is the batched lane: for every seeded graph,
+// BFSBatch over k ∈ {1, 3, 17, 64} sources — including a guaranteed
+// duplicate and, when the graph has one, a source unreachable from the
+// rest of the batch — must produce distances bit-identical to k
+// sequential Session.Search runs, across algorithms × directions × grid
+// shapes (bit-parallel 1D and 2D paths plus the sequential fallbacks).
+func TestBatchConformance(t *testing.T) {
+	seeds := make([]int64, 0, batchConformanceGraphs)
+	if env := os.Getenv("PBFS_CONFORMANCE_SEED"); env != "" {
+		s, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad PBFS_CONFORMANCE_SEED %q: %v", env, err)
+		}
+		seeds = append(seeds, s)
+	} else {
+		count := batchConformanceGraphs
+		if testing.Short() {
+			count = 4
+		}
+		for s := int64(0); s < int64(count); s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	for _, seed := range seeds {
+		batchConformanceOneGraph(t, seed)
+		if t.Failed() {
+			return // one failing seed is enough; it is printed for replay
+		}
+	}
+}
+
+func batchConformanceOneGraph(t *testing.T, seed int64) {
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf("seed %d (replay: PBFS_CONFORMANCE_SEED=%d): %s",
+			seed, seed, fmt.Sprintf(format, args...))
+	}
+	g, desc, err := buildConformanceGraph(seed)
+	if err != nil {
+		fail("graph build: %v", err)
+		return
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0xba7c4))
+	ranks := []int{2, 4, 6}[rng.Intn(3)]
+	if int64(ranks) > g.NumVerts() {
+		ranks = int(g.NumVerts())
+	}
+	shapeSet := [][2]int{{0, 0}, {1, ranks}, {ranks, 1}}
+	shapes := [][2]int{shapeSet[seed%3], shapeSet[(seed+1)%3]}
+
+	sess := pbfs.NewSession()
+	defer sess.Close()
+
+	// Sequential baseline, one Session.Search per distinct source. The
+	// sequential lane (TestConformance) pins every configuration's Search
+	// to the serial oracle, so one configuration's distances stand for
+	// them all here.
+	seqDist := make(map[int64][]int64)
+	sequential := func(src int64) []int64 {
+		if d, ok := seqDist[src]; ok {
+			return d
+		}
+		res, err := sess.Search(g, src, pbfs.Options{Algorithm: pbfs.OneDFlat, Ranks: ranks})
+		if err != nil {
+			t.Fatalf("seed %d: sequential baseline from %d: %v", seed, src, err)
+		}
+		seqDist[src] = res.Dist
+		return res.Dist
+	}
+
+	// makeSources builds a k-wide batch from the large component, padded
+	// with duplicates, with srcs[1] a guaranteed duplicate of srcs[0] and
+	// srcs[2] a source unreachable from srcs[0] when the graph has one.
+	makeSources := func(k int) []int64 {
+		srcs := g.Sources(k, uint64(seed)+7)
+		if len(srcs) == 0 {
+			srcs = []int64{rng.Int63n(g.NumVerts())}
+		}
+		for len(srcs) < k {
+			srcs = append(srcs, srcs[rng.Intn(len(srcs))])
+		}
+		if k >= 2 {
+			srcs[1] = srcs[0]
+		}
+		if k >= 3 {
+			base := sequential(srcs[0])
+			for v := int64(0); v < g.NumVerts(); v++ {
+				if base[v] == pbfs.Unreached {
+					srcs[2] = v
+					break
+				}
+			}
+		}
+		return srcs
+	}
+	batches := map[int][]int64{}
+	for _, k := range []int{1, 3, 17, 64} {
+		batches[k] = makeSources(k)
+	}
+
+	checkBatch := func(opt pbfs.Options, what string) {
+		for _, k := range []int{1, 3, 17, 64} {
+			srcs := batches[k]
+			br, err := sess.BFSBatch(g, srcs, opt)
+			if err != nil {
+				fail("%s %s k=%d: %v", desc, what, k, err)
+				return
+			}
+			if len(br.Results) != len(srcs) {
+				fail("%s %s k=%d: %d results", desc, what, k, len(br.Results))
+				return
+			}
+			for i, res := range br.Results {
+				want := sequential(srcs[i])
+				for v := range want {
+					if res.Dist[v] != want[v] {
+						fail("%s %s k=%d: source %d dist[%d]=%d, sequential %d",
+							desc, what, k, srcs[i], v, res.Dist[v], want[v])
+						return
+					}
+				}
+			}
+		}
+	}
+
+	dirs := []pbfs.Direction{pbfs.Auto, pbfs.TopDownOnly, pbfs.BottomUpOnly}
+	for _, algo := range []pbfs.Algorithm{pbfs.OneDFlat, pbfs.OneDHybrid} {
+		for _, dir := range dirs {
+			checkBatch(pbfs.Options{Algorithm: algo, Ranks: ranks, Direction: dir},
+				fmt.Sprintf("%v/%v", algo, dir))
+		}
+	}
+	for _, algo := range []pbfs.Algorithm{pbfs.TwoDFlat, pbfs.TwoDHybrid} {
+		for _, shape := range shapes {
+			for _, dir := range dirs {
+				checkBatch(pbfs.Options{
+					Algorithm: algo, Ranks: ranks, Direction: dir,
+					GridRows: shape[0], GridCols: shape[1],
+				}, fmt.Sprintf("%v/%v/grid=%dx%d", algo, dir, shape[0], shape[1]))
+			}
+		}
+	}
+	// Sequential-fallback engines: diagonal vector distribution and the
+	// comparator codes take the per-source path under the same contract.
+	// DiagonalVectors needs a square grid, so it gets its own rank count.
+	diagRanks := 1
+	if g.NumVerts() >= 4 {
+		diagRanks = 4
+	}
+	checkBatch(pbfs.Options{Algorithm: pbfs.TwoDFlat, Ranks: diagRanks, DiagonalVectors: true}, "2d/diag")
+	checkBatch(pbfs.Options{Algorithm: pbfs.Reference, Ranks: ranks}, "reference")
+	if t.Failed() {
+		t.Logf("graph: %s, ranks %d", desc, ranks)
+	}
+}

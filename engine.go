@@ -183,6 +183,12 @@ type engine interface {
 	// search runs one BFS from source; opt supplies only the per-search
 	// fields (Direction, Alpha/Beta, Trace).
 	search(source int64, opt Options) (*Result, error)
+	// searchBatch runs up to BatchWidth sources through one bit-parallel
+	// level loop when the engine has one, or a sequential per-source
+	// loop otherwise (the comparator codes, the diagonal 2D vector
+	// layout). Options.Overlap is ignored: the batched exchanges are
+	// blocking, since batching already amortizes the collectives.
+	searchBatch(sources []int64, opt Options) (*BatchResult, error)
 	// rebind points the engine at a different facade graph, rebuilding
 	// the distribution while keeping the world, grid, and arenas.
 	rebind(g *Graph) error
@@ -284,6 +290,27 @@ func (e *engine1D) search(source int64, opt Options) (*Result, error) {
 	return res, nil
 }
 
+func (e *engine1D) searchBatch(sources []int64, opt Options) (*BatchResult, error) {
+	mode, policy, err := resolveDirection(opt)
+	if err != nil {
+		return nil, err
+	}
+	e.w.Reset()
+	out := bfs1d.RunBatch(e.w, e.dg, sources, bfs1d.Options{
+		Threads: e.lay.threads, LocalShortcut: true, DedupSends: true,
+		Direction: mode, Policy: policy,
+		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
+	})
+	br := newBatchResult(sources, e.w)
+	br.BatchLevels = out.BatchLevels
+	br.UniqueTraversedEdges = out.UniqueTraversedEdges / 2
+	br.ScannedTopDown, br.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
+	br.LevelFrontier, br.LevelScanned = out.LevelFrontier, out.LevelScanned
+	br.LevelBottomUp, br.LevelCommWords = out.LevelBottomUp, out.LevelCommWords
+	br.fillPerSource(out.Dist, out.Parent, out.Levels, out.TraversedEdges)
+	return br, nil
+}
+
 func (e *engine1D) close() { e.arena.Close() }
 
 // engine2D drives the 2D checkerboard algorithms on the layout's pr×pc
@@ -337,6 +364,34 @@ func (e *engine2D) search(source int64, opt Options) (*Result, error) {
 	return res, nil
 }
 
+func (e *engine2D) searchBatch(sources []int64, opt Options) (*BatchResult, error) {
+	if e.vec == bfs2d.DistDiag {
+		// The diagonal vector layout has no batched pull/push path.
+		return sequentialBatch(e, sources, opt)
+	}
+	mode, policy, err := resolveDirection(opt)
+	if err != nil {
+		return nil, err
+	}
+	e.w.Reset()
+	out, err := bfs2d.RunBatch(e.w, e.grid, e.dg, sources, bfs2d.Options{
+		Threads: e.lay.threads, Kernel: e.lay.kernel, Vector: e.vec,
+		Direction: mode, Policy: policy,
+		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
+	})
+	if err != nil {
+		return nil, err
+	}
+	br := newBatchResult(sources, e.w)
+	br.BatchLevels = out.BatchLevels
+	br.UniqueTraversedEdges = out.UniqueTraversedEdges / 2
+	br.ScannedTopDown, br.ScannedBottomUp = out.ScannedTopDown, out.ScannedBottomUp
+	br.LevelFrontier, br.LevelScanned = out.LevelFrontier, out.LevelScanned
+	br.LevelBottomUp, br.LevelCommWords = out.LevelBottomUp, out.LevelCommWords
+	br.fillPerSource(out.Dist, out.Parent, out.Levels, out.TraversedEdges)
+	return br, nil
+}
+
 func (e *engine2D) close() { e.arena.Close() }
 
 // engineBase drives the Section 6 comparator codes (Graph 500 reference
@@ -381,4 +436,49 @@ func (e *engineBase) search(source int64, opt Options) (*Result, error) {
 	return res, nil
 }
 
+func (e *engineBase) searchBatch(sources []int64, opt Options) (*BatchResult, error) {
+	return sequentialBatch(e, sources, opt)
+}
+
 func (e *engineBase) close() {}
+
+// sequentialBatch is the per-source fallback for engines without a
+// bit-parallel path: each source runs its own search, the whole-batch
+// statistics are summed, and per-source times stay the searches' own —
+// there is no amortization to report. The unique-edge count still
+// applies the shared-scan accounting rule (each edge incident to the
+// union of the reached sets counted once), so MachineTEPS compares
+// fairly against the batched engines.
+func sequentialBatch(e engine, sources []int64, opt Options) (*BatchResult, error) {
+	br := &BatchResult{Sources: append([]int64(nil), sources...)}
+	g := e.boundTo()
+	reached := make([]bool, g.NumVerts())
+	for _, src := range sources {
+		res, err := e.search(src, opt)
+		if err != nil {
+			return nil, err
+		}
+		br.Results = append(br.Results, res)
+		br.BatchLevels += res.Levels
+		br.ScannedTopDown += res.ScannedTopDown
+		br.ScannedBottomUp += res.ScannedBottomUp
+		br.SimTime += res.SimTime
+		br.CommTime += res.CommTime
+		br.SentWords += res.SentWords
+		br.RecvWords += res.RecvWords
+		mergePhases(&br.CommByPhase, res.CommByPhase)
+		for v, d := range res.Dist {
+			if d != Unreached {
+				reached[v] = true
+			}
+		}
+	}
+	var adj int64
+	for v, ok := range reached {
+		if ok {
+			adj += g.Degree(int64(v))
+		}
+	}
+	br.UniqueTraversedEdges = adj / 2
+	return br, nil
+}

@@ -90,10 +90,11 @@ type rankArena struct {
 	dedup        *bits.Bitmap
 	pool         *smp.Pool
 	tstate       []threadScratch
-	front        *bits.Bitmap // global frontier, N bits
-	chunk        *bits.Bitmap // owned contribution to the next frontier, N bits
-	ownVis       *bits.Bitmap // visited flags over owned vertices, nloc bits
-	pullOut      spvec.Vec    // flat variant's bottom-up candidate vector
+	front        *bits.Bitmap   // global frontier, N bits
+	chunk        *bits.Bitmap   // owned contribution to the next frontier, N bits
+	ownVis       *bits.Bitmap   // visited flags over owned vertices, nloc bits
+	pullOut      spvec.Vec      // flat variant's bottom-up candidate vector
+	batch        batchRankArena // multi-source (RunBatch) planes and buffers
 }
 
 // team returns the rank's persistent worker pool at width t, recycling
@@ -163,9 +164,10 @@ const threadBarrierOps = 4000
 // in parallel with no shared mutable state; the serial merge drains them
 // in thread order.
 type threadScratch struct {
-	send      [][]int64 // per-owner (target, parent) pair stacks
-	local     []int64   // (local index, parent) candidate pairs
-	pullOut   spvec.Vec // bottom-up (chunk-local row, parent) candidates
+	send      [][]int64     // per-owner (target, parent) pair stacks
+	local     []int64       // (local index, parent) candidate pairs
+	pullOut   spvec.Vec     // bottom-up (chunk-local row, parent) candidates
+	pullMask  spvec.MaskVec // batched bottom-up (chunk-local row, mask, parent)
 	adjWords  int64
 	localHits int64
 }

@@ -115,6 +115,8 @@ type rankArena struct {
 	// only the named slices are exchanged or read.
 	front, rowFront, chunk, vis *bits.Bitmap
 	pullScratch                 spmat.PullScratch
+	// Multi-source (RunBatch) planes and buffers.
+	batch batchRankArena
 }
 
 // team returns the rank's persistent worker pool at width t, recycling

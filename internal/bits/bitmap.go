@@ -115,6 +115,41 @@ func ClearWords(ws []uint64) {
 	clear(ws)
 }
 
+// AndNotWords clears from dst every bit set in src (dst &^= src), word by
+// word. The multi-source kernels use it to retire completed searches from
+// activity planes without open-coding the loop in both drivers (dst and
+// src must have equal length).
+func AndNotWords(dst, src []uint64) {
+	if len(src) != len(dst) {
+		panic("bits: AndNotWords length mismatch")
+	}
+	for i, w := range src {
+		dst[i] &^= w
+	}
+}
+
+// CountWords returns the total number of set bits in a word slice: the
+// population count of a mask plane (one word per vertex in the batched
+// BFS), where Bitmap.Count would require wrapping the slice.
+func CountWords(ws []uint64) int64 {
+	var c int64
+	for _, w := range ws {
+		c += int64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// GrownWords returns s cleared if it holds exactly n words, or a fresh
+// zero slice of n words otherwise: the arena-recycling policy of the
+// batched drivers' mask planes (the word-per-vertex analog of Grown).
+func GrownWords(s []uint64, n int64) []uint64 {
+	if int64(len(s)) != n {
+		return make([]uint64, n)
+	}
+	clear(s)
+	return s
+}
+
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int64 {
 	var c int64

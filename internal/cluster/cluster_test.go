@@ -62,6 +62,37 @@ func TestAllreduce(t *testing.T) {
 	})
 }
 
+func TestAllreduceOr(t *testing.T) {
+	const p = 9
+	w := NewWorld(p, ZeroCost{})
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		// Each rank contributes one distinct bit plus a shared high bit;
+		// every member must see the union.
+		v := uint64(1)<<uint(r.ID()) | 1<<63
+		or := g.AllreduceOr(r, v, "ar")
+		want := uint64(1<<p-1) | 1<<63
+		if or != want {
+			t.Errorf("rank %d: or = %x, want %x", r.ID(), or, want)
+		}
+		if z := g.AllreduceOr(r, 0, "ar"); z != 0 {
+			t.Errorf("rank %d: or of zeros = %x", r.ID(), z)
+		}
+	})
+}
+
+func TestAllreduceOrPriced(t *testing.T) {
+	m := netmodel.Profiles()["franklin"]
+	w := NewWorld(4, m)
+	g := w.WorldGroup()
+	w.Run(func(r *Rank) {
+		g.AllreduceOr(r, uint64(r.ID()), "or")
+		if r.CommTime("or") <= 0 {
+			t.Errorf("rank %d: AllreduceOr charged no time", r.ID())
+		}
+	})
+}
+
 func TestBcastAndGatherv(t *testing.T) {
 	const p = 6
 	w := NewWorld(p, ZeroCost{})

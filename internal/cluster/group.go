@@ -381,6 +381,23 @@ func (g *Group) AllreduceSum(r *Rank, v int64, tag string) int64 {
 	}).num
 }
 
+// AllreduceOr returns the bitwise OR of every member's 64-bit mask: the
+// batched BFS's per-level reduction of "searches that discovered
+// something this level" (one bit per search in the batch). Priced like
+// the other single-word allreduces.
+func (g *Group) AllreduceOr(r *Rank, v uint64, tag string) uint64 {
+	return uint64(g.collective(r, payload{num: int64(v)}, tag, func(deposits, results []payload) float64 {
+		var or int64
+		for i := range deposits {
+			or |= deposits[i].num
+		}
+		for i := range results {
+			results[i] = payload{num: or}
+		}
+		return g.world.Model.Allreduce(len(g.members), 1)
+	}).num)
+}
+
 // AllreduceMax returns the max of every member's value.
 func (g *Group) AllreduceMax(r *Rank, v float64, tag string) float64 {
 	return g.collective(r, payload{f: v}, tag, func(deposits, results []payload) float64 {

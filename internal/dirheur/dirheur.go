@@ -118,6 +118,23 @@ func New(mode Mode, pol Policy, n, totalAdj int64) *Machine {
 	return m
 }
 
+// NewBatch returns a Machine for a batched (multi-source) BFS of the
+// given width: the whole batch runs one direction per level, chosen
+// from aggregate statistics — the per-search quantities summed over the
+// active searches — against a problem scaled by the batch width. A
+// width-w batch of overlapping searches behaves like one search on a
+// graph w times larger: the switch fires when the aggregate frontier
+// volume crosses the same fraction of the aggregate unexplored volume,
+// so a batch whose searches are mostly in their heavy middle levels
+// pulls, and retires back to pushing as searches complete and the
+// aggregate frontier thins.
+func NewBatch(mode Mode, pol Policy, n, totalAdj int64, width int) *Machine {
+	if width < 1 {
+		width = 1
+	}
+	return New(mode, pol, n*int64(width), totalAdj*int64(width))
+}
+
 // Direction returns the direction the next level should run in.
 func (m *Machine) Direction() Direction { return m.cur }
 

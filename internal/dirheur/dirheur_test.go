@@ -2,6 +2,33 @@ package dirheur
 
 import "testing"
 
+// TestNewBatchScalesThresholds pins the batch heuristic's construction:
+// a width-w batch machine is the scalar machine on a w-times-larger
+// problem, so aggregate statistics w times the scalar ones drive the
+// same switch sequence, and width 1 is the scalar machine exactly.
+func TestNewBatchScalesThresholds(t *testing.T) {
+	const n, adj, w = 1 << 12, 16 << 12, 64
+	scalar := New(ModeAuto, Policy{}, n, adj)
+	batch := NewBatch(ModeAuto, Policy{}, n, adj, w)
+	if one := NewBatch(ModeAuto, Policy{}, n, adj, 1); one.Unexplored() != scalar.Unexplored() {
+		t.Fatalf("width-1 batch mu = %d, scalar %d", one.Unexplored(), scalar.Unexplored())
+	}
+	if batch.Unexplored() != w*adj {
+		t.Fatalf("batch mu = %d, want %d", batch.Unexplored(), int64(w*adj))
+	}
+	profile := [][2]int64{{1, 16}, {40, 700}, {2000, 30000}, {1500, 20000}, {60, 900}, {0, 0}}
+	for i, lv := range profile {
+		sd := scalar.Advance(lv[0], lv[1])
+		bd := batch.Advance(lv[0]*w, lv[1]*w)
+		if sd != bd {
+			t.Fatalf("level %d: scalar %v, batch %v", i, sd, bd)
+		}
+	}
+	if NewBatch(ModeAuto, Policy{}, n, adj, 0).Unexplored() != adj {
+		t.Fatal("width 0 did not clamp to 1")
+	}
+}
+
 func TestFixedModesNeverSwitch(t *testing.T) {
 	td := New(ModeTopDown, Policy{}, 1000, 100000)
 	bu := New(ModeBottomUp, Policy{}, 1000, 100000)

@@ -115,6 +115,37 @@ func Summarize(runs []Run) Stats {
 	return st
 }
 
+// BatchStats extends Stats with the whole-batch aggregates of a
+// multi-source (MS-BFS) run, where one traversal serves many searches.
+type BatchStats struct {
+	Stats
+	// BatchTime is the simulated time of the whole batch — what the
+	// machine actually spent, as opposed to the per-search amortized
+	// times the embedded Stats are computed over.
+	BatchTime float64
+	// UniqueEdges counts each undirected edge incident to the union of
+	// the reached sets once, no matter how many searches scanned it.
+	UniqueEdges int64
+	// MachineTEPS is UniqueEdges/BatchTime: the hardware throughput
+	// under the "count each shared edge scan once" rule. The harmonic
+	// mean credits every search its full edge count at the amortized
+	// time, so it rises with batch width; MachineTEPS does not — adding
+	// a duplicate source to a batch leaves it unchanged.
+	MachineTEPS float64
+}
+
+// SummarizeBatch computes the Graph 500 per-search statistics over runs
+// (whose times should be the batch's amortized per-search shares) plus
+// the whole-batch machine rate. It panics on an empty batch.
+func SummarizeBatch(runs []Run, uniqueEdges int64, batchTime float64) BatchStats {
+	return BatchStats{
+		Stats:       Summarize(runs),
+		BatchTime:   batchTime,
+		UniqueEdges: uniqueEdges,
+		MachineTEPS: TEPS(uniqueEdges, batchTime),
+	}
+}
+
 // ValidateOutput checks a distributed BFS output against the Graph 500
 // validation rules plus an independent serial reference.
 func ValidateOutput(ref *graph.CSR, source int64, dist, parent []int64) error {

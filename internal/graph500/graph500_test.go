@@ -96,6 +96,56 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeBatchSharedScanRule pins the MS-BFS accounting rule: the
+// machine rate counts each shared edge scan once, so adding a duplicate
+// source to a batch raises the harmonic mean (another search is credited
+// the same edges at the same amortized time) but leaves MachineTEPS
+// untouched — the unique-edge set and the batch time do not move.
+func TestSummarizeBatchSharedScanRule(t *testing.T) {
+	const (
+		batchTime   = 2.0
+		uniqueEdges = 1000
+	)
+	// Three searches over the same component at the amortized share of
+	// the batch's clock.
+	runs := []Run{
+		{Source: 3, Time: batchTime / 3, Edges: 900, Levels: 5},
+		{Source: 9, Time: batchTime / 3, Edges: 1000, Levels: 6},
+		{Source: 4, Time: batchTime / 3, Edges: 950, Levels: 5},
+	}
+	st := SummarizeBatch(runs, uniqueEdges, batchTime)
+	if st.MachineTEPS != uniqueEdges/batchTime {
+		t.Errorf("MachineTEPS = %v, want %v", st.MachineTEPS, uniqueEdges/batchTime)
+	}
+	if st.BatchTime != batchTime || st.UniqueEdges != uniqueEdges {
+		t.Errorf("batch aggregates %v/%d", st.BatchTime, st.UniqueEdges)
+	}
+	if st.NumRuns != 3 || st.HarmonicMeanTEPS <= 0 {
+		t.Errorf("embedded stats missing: %+v", st.Stats)
+	}
+
+	// Duplicate source 3: a fourth search rides the same traversal. The
+	// unique-edge set is unchanged; with one more search sharing the
+	// same batch the amortized per-search time drops to batchTime/4.
+	dup := make([]Run, 0, 4)
+	for _, r := range runs {
+		r.Time = batchTime / 4
+		dup = append(dup, r)
+	}
+	r := runs[0]
+	r.Time = batchTime / 4
+	dup = append(dup, r)
+	st2 := SummarizeBatch(dup, uniqueEdges, batchTime)
+	if st2.MachineTEPS != st.MachineTEPS {
+		t.Errorf("duplicate source moved MachineTEPS: %v -> %v (shared scans double-counted)",
+			st.MachineTEPS, st2.MachineTEPS)
+	}
+	if st2.HarmonicMeanTEPS <= st.HarmonicMeanTEPS {
+		t.Errorf("per-search harmonic mean should rise with batch width: %v -> %v",
+			st.HarmonicMeanTEPS, st2.HarmonicMeanTEPS)
+	}
+}
+
 func TestSummarizeEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

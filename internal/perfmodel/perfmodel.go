@@ -22,6 +22,7 @@ package perfmodel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/netmodel"
 )
@@ -124,6 +125,18 @@ type Config struct {
 	// OverlapChunks is the pipeline depth used when Overlap is set;
 	// values below 2 default to 4.
 	OverlapChunks int
+	// BatchWidth is the number of concurrent searches sharing one
+	// multi-source (MS-BFS) traversal: frontier and visited state become
+	// one 64-bit mask word per vertex, so up to 64 searches ride every
+	// adjacency scan and every per-level collective. The prediction stays
+	// a per-search profile — the batch's cost divided by its width — so
+	// GTEPS is the amortized per-search rate and the amortization factor
+	// is Predict(width=1).Total / Predict(width=w).Total. Values are
+	// clamped to [1, 64]; 0 means 1 (classic single-source). Ignored by
+	// the comparator codes (no MS-BFS path) and incompatible with
+	// Overlap (the batched exchange is blocking by design — batching
+	// already amortizes the collectives Overlap would hide).
+	BatchWidth int
 }
 
 // Breakdown is a predicted per-search execution profile.
@@ -155,6 +168,11 @@ func (c Config) ranksAndThreads() (int, int) {
 }
 
 // Predict returns the modeled per-search profile for the configuration.
+// For a batched direction-optimized search, the per-batch direction
+// heuristic degrades to top-down when the mask-plane bitmap exchange
+// (64x the single-search words, width-independent) outweighs the pull
+// savings — the model mirrors that retirement-aware fallback by taking
+// the cheaper of the two projections.
 func Predict(cfg Config, wl Workload) Breakdown {
 	if cfg.Machine == nil {
 		panic("perfmodel: nil machine")
@@ -162,6 +180,19 @@ func Predict(cfg Config, wl Workload) Breakdown {
 	if wl.N < 1 || wl.M < 1 || wl.Levels < 1 || wl.HeavyLevels < 1 {
 		panic(fmt.Sprintf("perfmodel: bad workload %+v", wl))
 	}
+	b := predictDispatch(cfg, wl)
+	if cfg.DirOpt && cfg.batchWidth() > 1 &&
+		cfg.Algo != Reference && cfg.Algo != PBGL {
+		td := cfg
+		td.DirOpt = false
+		if alt := predictDispatch(td, wl); alt.Total < b.Total {
+			b = alt
+		}
+	}
+	return b
+}
+
+func predictDispatch(cfg Config, wl Workload) Breakdown {
 	switch cfg.Algo {
 	case OneDFlat, OneDHybrid:
 		return predict1D(cfg, wl, oneDFactors{comp: 1, extraPasses: 0, commVol: 1, latency: 1})
@@ -230,7 +261,24 @@ const (
 	// light levels stay top-down at full cost.
 	dirOptHeavyShare   = 0.9
 	dirOptPullFraction = 0.1
+
+	// Multi-source batching constants. The union frontier of a 64-wide
+	// batch activates more vertices per level than any single search's
+	// frontier, so the batch's shared scan covers batchFrontierSpread
+	// times one search's edge volume — far below 64 times, which is the
+	// whole amortization argument (sources drawn from one component
+	// converge onto the same frontier within a few levels). Exchanged
+	// frontier entries grow from (vertex, parent) pairs to (vertex,
+	// mask, parent) triples: batchPayloadFactor on the word volume.
+	batchFrontierSpread = 2.0
+	batchPayloadFactor  = 1.5
 )
+
+// batchSpreadExp interpolates the spread between widths: spread(w) =
+// w^batchSpreadExp, anchored at spread(64) = batchFrontierSpread with
+// spread(1) = 1. Sublinear in w (the exponent is ~0.17), so the
+// per-search scan share w^(exp-1) falls monotonically with width.
+var batchSpreadExp = math.Log(batchFrontierSpread) / math.Log(64)
 
 // dirOptScanFraction is the fraction of edge traffic a
 // direction-optimized search keeps relative to top-down-only.
@@ -238,9 +286,15 @@ const dirOptScanFraction = (1 - dirOptHeavyShare) + dirOptHeavyShare*dirOptPullF
 
 // bitmapPhase prices the dense frontier exchanges of the bottom-up
 // levels: one n/64-word bitmap allgather over the p ranks per heavy
-// level (conversion exchanges are folded into the same count).
-func bitmapPhase(m *netmodel.Machine, wl Workload, p int) float64 {
+// level (conversion exchanges are folded into the same count). A
+// batched search exchanges a full 64-bit mask plane — one word per
+// vertex instead of one bit — so its volume is 64x, width-independent:
+// the plane carries all 64 searches whether 2 or 64 are live.
+func bitmapPhase(m *netmodel.Machine, wl Workload, p int, batched bool) float64 {
 	words := (wl.N + 63) / 64
+	if batched {
+		words = wl.N
+	}
 	return float64(wl.HeavyLevels) * m.Allgatherv(int(p), words)
 }
 
@@ -248,9 +302,13 @@ func bitmapPhase(m *netmodel.Machine, wl Workload, p int) float64 {
 // exchange on a pr×pc grid: per heavy level, an allgather of the
 // row-block bitmap (n/(64·pr) words) over the pc row members followed
 // by an allgather of the block-column bitmap (n/(64·pc) words) over the
-// pr column members.
-func bitmapPhasePartitioned(m *netmodel.Machine, wl Workload, pr, pc float64) float64 {
+// pr column members. Batched searches exchange mask planes (64x the
+// words) like the world-wide form.
+func bitmapPhasePartitioned(m *netmodel.Machine, wl Workload, pr, pc float64, batched bool) float64 {
 	words := float64((wl.N + 63) / 64)
+	if batched {
+		words = float64(wl.N)
+	}
 	rowWords := int64(words/pr) + 1
 	colWords := int64(words/pc) + 1
 	return float64(wl.HeavyLevels) *
@@ -295,7 +353,8 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 	// bottom-up, shrinking the scanned and exchanged edge volume to
 	// dirOptScanFraction, keeping the sparse all-to-all only on the
 	// light levels, and paying the dense bitmap exchange instead.
-	dirOpt := cfg.DirOpt && (cfg.Algo == OneDFlat || cfg.Algo == OneDHybrid)
+	tuned := cfg.Algo == OneDFlat || cfg.Algo == OneDHybrid
+	dirOpt := cfg.DirOpt && tuned
 	eScan, rScan := float64(edgesPer), float64(remoteWords)
 	a2aLevels := float64(wl.Levels)
 	if dirOpt {
@@ -306,17 +365,36 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 		}
 	}
 
+	// Multi-source batching (tuned variants only; comparators have no
+	// MS-BFS path): costs below are the whole batch's — scan and
+	// bandwidth terms grow by the union-frontier spread and the
+	// pair→triple payload, latency terms do not grow at all — and
+	// amortize() divides the lot by the width at the end. Every batch
+	// factor is exactly 1 at width 1, each applied per term, so the
+	// single-source projection stays bit-identical to the unbatched
+	// model.
+	wB := 1.0
+	if tuned {
+		wB = cfg.batchWidth()
+	}
+	spread, payload := 1.0, 1.0
+	if wB > 1 {
+		spread, payload = math.Pow(wB, batchSpreadExp), batchPayloadFactor
+	}
+
 	// --- Local computation (Section 5.1) ---
 	// m/p·βL adjacency stream, n/p·αL,n/p pointer+frontier accesses,
-	// m/p·αL,n/p distance checks, plus buffer packing streams.
+	// m/p·αL,n/p distance checks, plus buffer packing streams. The
+	// per-vertex commit term scales with the width (each search writes
+	// its own distances); the shared scan only with the spread.
 	streams := eScan + rScan*(1+float64(fac.extraPasses))
 	if t > 1 {
 		streams += rScan // thread-buffer merge pass
 	}
-	comp := eScan*m.AlphaMem(nloc)*fac.comp +
-		float64(nloc)*(m.AlphaMem(nloc)+2*m.BetaMem) +
-		streams*m.BetaMem +
-		eScan*fac.comp/m.ComputeRate
+	comp := eScan*m.AlphaMem(nloc)*fac.comp*spread +
+		float64(nloc)*(m.AlphaMem(nloc)+2*m.BetaMem)*wB +
+		streams*m.BetaMem*spread +
+		eScan*fac.comp/m.ComputeRate*spread
 	comp /= threadSpeedup(t, eScan/float64(wl.Levels))
 	if t > 1 {
 		comp += float64(wl.Levels) * 3 * 4000 / m.ComputeRate // thread barriers
@@ -327,14 +405,20 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 	// bandwidth term reflects per-node volume over per-node bandwidth:
 	// identical for flat and hybrid, while the latency term and the
 	// torus-contention degradation shrink with the hybrid's smaller p.
+	// One collective per level serves the whole batch, so the latency
+	// terms carry no width factor; batching turns the frontier-empty
+	// vote into two reductions (mask OR + active count).
 	rpn := float64(cfg.Machine.CoresPerNode) / t
-	a2aBW := rScan * rpn * torus(m, m.BetaA2A, float64(p)) * fac.commVol
+	a2aBW := rScan * rpn * torus(m, m.BetaA2A, float64(p)) * fac.commVol * spread * payload
 	a2a := a2aLevels*float64(p)*m.AlphaNet*fac.latency + a2aBW
 	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
+	if wB > 1 {
+		allred *= 2
+	}
 
 	phases := map[string]float64{"a2a": a2a, "allreduce": allred}
 	if dirOpt {
-		phases["bitmap"] = bitmapPhase(m, wl, int(p))
+		phases["bitmap"] = bitmapPhase(m, wl, int(p), wB > 1)
 	}
 
 	// Overlapped communication (tuned variants only): the all-to-all is
@@ -348,7 +432,7 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 	// distance/parent/visited commit under the (unchunked) bitmap
 	// allgather.
 	var hidden float64
-	if cfg.Overlap && (cfg.Algo == OneDFlat || cfg.Algo == OneDHybrid) {
+	if cfg.Overlap && tuned && wB == 1 {
 		k := cfg.overlapChunks()
 		ovComp := (rScan*m.BetaMem + rScan/2*m.AlphaMem(nloc)) /
 			threadSpeedup(t, eScan/float64(wl.Levels))
@@ -362,6 +446,7 @@ func predict1D(cfg Config, wl Workload, fac oneDFactors) Breakdown {
 			}
 		}
 	}
+	comp = amortize(comp, phases, wB)
 	return finish(cfg, wl, comp, phases, [2]int{int(p), 1}, hidden)
 }
 
@@ -410,19 +495,33 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 		tdShare = 1 - dirOptHeavyShare
 	}
 
+	// Multi-source batching: as in predict1D, the terms below price the
+	// whole batch — shared scans and folds grow by the spread, exchanged
+	// entries by the pair→triple payload, the expand and transpose by the
+	// bit-plane→mask-plane doubling — and amortize() divides by the width
+	// at the end. The per-level fixed costs (latencies, level overhead,
+	// allreduces) are where the division wins.
+	wB := cfg.batchWidth()
+	spread, payload := 1.0, 1.0
+	if wB > 1 {
+		spread, payload = math.Pow(wB, batchSpreadExp), batchPayloadFactor
+	}
+
 	// --- Local computation (Section 5.2) ---
 	// m/p·βL + n/pc·αL(n/pc) frontier accesses + m/p·αL(n/pr) scatter;
 	// the larger working sets (n/pr, n/pc vs n/p) are exactly why the 2D
 	// algorithm computes slower (Section 5.2). Strip-split threading
-	// shrinks the scatter working set by t.
+	// shrinks the scatter working set by t. The frontier/vector
+	// maintenance term scales with the width (per-search state); the
+	// shared scatter, streams and fold terms only with the spread.
 	stripWS := rowBlock / int64(t64)
 	logOut := math.Log2(foldEntries/h + 2)
-	comp := eScan*m.AlphaMem(stripWS) + // scatter into SPA range / pull probes
-		float64(nloc)*m.AlphaMem(expandWords) + // frontier accesses, n/pc working set
-		(eScan+2*float64(expandWords)*tdShare+2*float64(foldWords))*m.BetaMem +
-		eScan/m.ComputeRate +
-		foldEntries*spaExtractOps*logOut/m.ComputeRate + // SPA index sort at extraction
-		foldEntries*m.AlphaMem(nloc) // fold-merge mask probes
+	comp := eScan*m.AlphaMem(stripWS)*spread + // scatter into SPA range / pull probes
+		float64(nloc)*m.AlphaMem(expandWords)*wB + // frontier accesses, n/pc working set
+		(eScan+2*float64(expandWords)*tdShare+2*float64(foldWords))*m.BetaMem*spread +
+		eScan/m.ComputeRate*spread +
+		foldEntries*spaExtractOps*logOut/m.ComputeRate*spread + // SPA index sort at extraction
+		foldEntries*m.AlphaMem(nloc)*spread // fold-merge mask probes
 	comp /= threadSpeedup(t, eScan/float64(wl.Levels))
 	comp += float64(wl.Levels) * levelOverheadSeconds
 	if t > 1 {
@@ -433,24 +532,35 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 	// pr·αN + (n/pc)·βN,ag(pr) for the expand, pc·αN + fold·βN,a2a(pc)
 	// for the fold, both over √p participants instead of p — the
 	// communication advantage of the 2D decomposition. Bandwidth terms
-	// carry the NIC-sharing factor like the 1D model.
+	// carry the NIC-sharing factor like the 1D model. One collective per
+	// level serves the whole batch (no width factor on latencies); the
+	// batched expand and transpose move 64-bit mask planes instead of
+	// bit planes (2x words, width-independent), and the frontier-empty
+	// vote becomes two reductions.
 	rpn := float64(cfg.Machine.CoresPerNode) / t
-	expandBW := float64(expandWords) * tdShare * rpn * torus(m, m.BetaAG, pr)
+	planes := 1.0
+	if wB > 1 {
+		planes = 2
+	}
+	expandBW := float64(expandWords) * tdShare * rpn * torus(m, m.BetaAG, pr) * planes
 	expand := tdLevels*pr*m.AlphaNet + expandBW
-	foldBW := float64(foldWords) * rpn * torus(m, m.BetaA2A, pc)
+	foldBW := float64(foldWords) * rpn * torus(m, m.BetaA2A, pc) * spread * payload
 	fold := float64(wl.Levels)*pc*m.AlphaNet + foldBW
 	transpose := tdLevels*m.AlphaNet +
-		float64(transposeWords)*tdShare*rpn*m.BetaP2P
+		float64(transposeWords)*tdShare*rpn*m.BetaP2P*planes
 	allred := float64(wl.Levels) * m.Allreduce(int(p), 1)
+	if wB > 1 {
+		allred *= 2
+	}
 
 	phases := map[string]float64{
 		"expand": expand, "fold": fold, "transpose": transpose, "allreduce": allred,
 	}
 	if dirOpt {
 		if cfg.PartitionedBitmap {
-			phases["bitmap"] = bitmapPhasePartitioned(m, wl, pr, pc)
+			phases["bitmap"] = bitmapPhasePartitioned(m, wl, pr, pc, wB > 1)
 		} else {
-			phases["bitmap"] = bitmapPhase(m, wl, int(p))
+			phases["bitmap"] = bitmapPhase(m, wl, int(p), wB > 1)
 		}
 	}
 
@@ -463,7 +573,7 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 	// hide the visited-slice fold (2·n/(64·pr) streamed words per heavy
 	// level) under the column bitmap hop.
 	var hidden float64
-	if cfg.Overlap {
+	if cfg.Overlap && wB == 1 {
 		k := cfg.overlapChunks()
 		ovComp := (eScan*m.AlphaMem(stripWS) + (eScan+2*float64(foldWords))*m.BetaMem +
 			eScan/m.ComputeRate) / threadSpeedup(t, eScan/float64(wl.Levels))
@@ -481,6 +591,7 @@ func predict2D(cfg Config, wl Workload) Breakdown {
 			hidden += math.Min(colBW, visOR)
 		}
 	}
+	comp = amortize(comp, phases, wB)
 	return finish(cfg, wl, comp, phases, [2]int{int(pr), int(pc)}, hidden)
 }
 
@@ -529,8 +640,17 @@ func torus(m *netmodel.Machine, beta float64, p float64) float64 {
 
 func finish(cfg Config, wl Workload, comp float64, phases map[string]float64, grid [2]int, hidden float64) Breakdown {
 	b := Breakdown{Comp: comp, Phase: phases, Grid: grid, Hidden: hidden}
-	for _, v := range phases {
-		b.Comm += v
+	// Sum phases in sorted key order: map iteration order is randomized,
+	// and float addition is not associative, so an unordered sum would
+	// make repeated Predict calls differ in the last bits — the
+	// bit-stability contracts (DirOpt off, BatchWidth 1) pin exactness.
+	keys := make([]string, 0, len(phases))
+	for k := range phases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.Comm += phases[k]
 	}
 	if max := math.Min(b.Comp, b.Comm); b.Hidden > max {
 		// Hiding is bounded by whichever side runs out first.
@@ -549,4 +669,32 @@ func (c Config) overlapChunks() float64 {
 		return float64(c.OverlapChunks)
 	}
 	return 4
+}
+
+// batchWidth returns the clamped MS-BFS batch width (1 = single-source).
+func (c Config) batchWidth() float64 {
+	switch {
+	case c.BatchWidth <= 1:
+		return 1
+	case c.BatchWidth > 64:
+		return 64
+	}
+	return float64(c.BatchWidth)
+}
+
+// amortize converts batch-level costs into the per-search profile: every
+// phase and the computation divide by the width. The latency terms were
+// NOT multiplied by the width on the way in — one collective per level
+// serves the whole batch — so this division is exactly where batching
+// wins: fixed per-level costs (latencies, level overhead, allreduces)
+// spread over w searches, while the bandwidth and scan terms only grew
+// by spread (≈2) and payload (≈1.5) factors instead of w.
+func amortize(comp float64, phases map[string]float64, w float64) float64 {
+	if w <= 1 {
+		return comp
+	}
+	for k := range phases {
+		phases[k] /= w
+	}
+	return comp / w
 }

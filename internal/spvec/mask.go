@@ -1,0 +1,66 @@
+package spvec
+
+// MaskVec is the sparse vector type of the batched (multi-source) BFS:
+// each entry is a vertex index carrying a 64-bit search mask — bit k set
+// means the entry concerns search k of the batch — plus the discovering
+// parent as payload. One MaskVec entry does the work of up to 64 Vec
+// entries, which is exactly the amortization the bit-parallel kernels
+// trade on.
+//
+// Entries are not required to be sorted or unique: the first-wins
+// semantics of BFS discovery (a bit, once claimed, is masked out of every
+// later entry for the same index) make an unsorted merge correct, unlike
+// Vec's (select,max) fold which needs sorted inputs.
+type MaskVec struct {
+	Ind  []int64  // vertex indices (local or global, per caller's convention)
+	Mask []uint64 // per-entry search mask; kept entries are never zero
+	Par  []int64  // discovering parent (global id), one per entry
+}
+
+// Reset empties the vector, keeping capacity.
+func (v *MaskVec) Reset() {
+	v.Ind = v.Ind[:0]
+	v.Mask = v.Mask[:0]
+	v.Par = v.Par[:0]
+}
+
+// NNZ returns the number of entries.
+func (v *MaskVec) NNZ() int64 { return int64(len(v.Ind)) }
+
+// Append adds an entry. Zero masks are the caller's responsibility to
+// filter (kernels never emit them).
+func (v *MaskVec) Append(ind int64, mask uint64, par int64) {
+	v.Ind = append(v.Ind, ind)
+	v.Mask = append(v.Mask, mask)
+	v.Par = append(v.Par, par)
+}
+
+// FoldMasks merges triple-encoded pieces ([i0,m0,p0, i1,m1,p1, ...],
+// masks bit-cast through int64) into dst, subtracting sub from every
+// index and claiming first visits against vis — a mask plane indexed by
+// the subtracted index (vis[i-sub] has bit k set when search k already
+// visited i). For each triple the surviving bits are m &^ vis[i-sub];
+// non-empty survivors are marked visited and appended to dst as
+// (i-sub, survivors, p). This is the batched analog of FoldMerge: the
+// per-bit first-wins rule replaces the (select,max) collapse, and
+// because first-wins needs no cross-piece ordering the pieces are
+// consumed in order with no cursor heap at all — piece order (group
+// rank order from the collective) fixes the winner deterministically.
+//
+// A trailing partial triple in a piece is ignored, matching the
+// defensive pairwise scans elsewhere in the BFS.
+func FoldMasks(dst *MaskVec, pieces [][]int64, sub int64, vis []uint64) *MaskVec {
+	dst.Reset()
+	for _, p := range pieces {
+		for k := 0; k+2 < len(p); k += 3 {
+			i := p[k] - sub
+			m := uint64(p[k+1]) &^ vis[i]
+			if m == 0 {
+				continue
+			}
+			vis[i] |= m
+			dst.Append(i, m, p[k+2])
+		}
+	}
+	return dst
+}

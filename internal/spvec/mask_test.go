@@ -1,0 +1,114 @@
+package spvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFoldMasksFirstWins(t *testing.T) {
+	vis := make([]uint64, 4)
+	vis[1] = 0b100 // search 2 already visited index 11
+	pieces := [][]int64{
+		{10, 0b011, 7, 11, 0b110, 8},
+		{10, 0b001, 9, 12, 0b000, 5, 13, 0b1}, // dup bit, zero mask, partial triple
+	}
+	var dst MaskVec
+	FoldMasks(&dst, pieces, 10, vis)
+	if len(dst.Ind) != 2 {
+		t.Fatalf("entries = %d, want 2: %+v", len(dst.Ind), dst)
+	}
+	if dst.Ind[0] != 0 || dst.Mask[0] != 0b011 || dst.Par[0] != 7 {
+		t.Errorf("entry 0 = (%d, %b, %d)", dst.Ind[0], dst.Mask[0], dst.Par[0])
+	}
+	// Index 11: bit 2 was pre-visited, bit 1 survives.
+	if dst.Ind[1] != 1 || dst.Mask[1] != 0b010 || dst.Par[1] != 8 {
+		t.Errorf("entry 1 = (%d, %b, %d)", dst.Ind[1], dst.Mask[1], dst.Par[1])
+	}
+	if vis[0] != 0b011 || vis[1] != 0b110 {
+		t.Errorf("vis = %b %b", vis[0], vis[1])
+	}
+}
+
+// TestFoldMasksMatchesPerBitReference replays random triple streams
+// through FoldMasks and through an independent per-(index,bit) scalar
+// simulation; the claimed (index, bit, parent) sets must agree exactly.
+func TestFoldMasksMatchesPerBitReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 30; trial++ {
+		const n, sub = 24, 100
+		vis := make([]uint64, n)
+		refClaim := make(map[[2]int64]int64) // (index, bit) -> parent
+		for i := range vis {
+			vis[i] = rng.Uint64() & 0xf0
+			for b := int64(0); b < 64; b++ {
+				if vis[i]&(1<<uint(b)) != 0 {
+					refClaim[[2]int64{int64(i), b}] = -1
+				}
+			}
+		}
+		refVis := append([]uint64(nil), vis...)
+		pieces := make([][]int64, rng.Intn(4)+1)
+		for pi := range pieces {
+			for k := 0; k < rng.Intn(20); k++ {
+				pieces[pi] = append(pieces[pi],
+					sub+rng.Int63n(n), int64(rng.Uint64()&0xff), rng.Int63n(50))
+			}
+		}
+		// Scalar reference: walk triples in piece order, bit by bit.
+		for _, p := range pieces {
+			for k := 0; k+2 < len(p); k += 3 {
+				i := p[k] - sub
+				for b := int64(0); b < 64; b++ {
+					if uint64(p[k+1])&(1<<uint(b)) == 0 || refVis[i]&(1<<uint(b)) != 0 {
+						continue
+					}
+					refVis[i] |= 1 << uint(b)
+					refClaim[[2]int64{i, b}] = p[k+2]
+				}
+			}
+		}
+		var dst MaskVec
+		FoldMasks(&dst, pieces, sub, vis)
+		got := make(map[[2]int64]int64)
+		for e := range dst.Ind {
+			if dst.Mask[e] == 0 {
+				t.Fatalf("trial %d: zero mask emitted", trial)
+			}
+			for b := int64(0); b < 64; b++ {
+				if dst.Mask[e]&(1<<uint(b)) != 0 {
+					key := [2]int64{dst.Ind[e], b}
+					if _, dup := got[key]; dup {
+						t.Fatalf("trial %d: (%d,%d) claimed twice", trial, key[0], key[1])
+					}
+					got[key] = dst.Par[e]
+				}
+			}
+		}
+		for i := range vis {
+			if vis[i] != refVis[i] {
+				t.Fatalf("trial %d: vis[%d] = %x, want %x", trial, i, vis[i], refVis[i])
+			}
+		}
+		for key, par := range refClaim {
+			if par == -1 {
+				continue // pre-visited, must not be claimed
+			}
+			if got[key] != par {
+				t.Fatalf("trial %d: claim %v parent %d, want %d", trial, key, got[key], par)
+			}
+		}
+		if len(got) != len(refClaim)-preVisited(refClaim) {
+			t.Fatalf("trial %d: %d claims, want %d", trial, len(got), len(refClaim)-preVisited(refClaim))
+		}
+	}
+}
+
+func preVisited(m map[[2]int64]int64) int {
+	n := 0
+	for _, p := range m {
+		if p == -1 {
+			n++
+		}
+	}
+	return n
+}

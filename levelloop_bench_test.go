@@ -28,17 +28,22 @@ import (
 // per-search setup).
 const levelLoopScale = 16
 
-func levelLoopSource(b *testing.B, el *graph.EdgeList) int64 {
+func levelLoopSources(b *testing.B, el *graph.EdgeList, k int) []int64 {
 	b.Helper()
 	ref, err := graph.BuildCSR(el, true)
 	if err != nil {
 		b.Fatal(err)
 	}
-	srcs := graph500.SelectSources(ref, 1, 0xbf)
-	if len(srcs) == 0 {
-		b.Fatal("no usable benchmark source")
+	srcs := graph500.SelectSources(ref, k, 0xbf)
+	if len(srcs) < k {
+		b.Fatalf("only %d of %d usable benchmark sources", len(srcs), k)
 	}
-	return srcs[0]
+	return srcs
+}
+
+func levelLoopSource(b *testing.B, el *graph.EdgeList) int64 {
+	b.Helper()
+	return levelLoopSources(b, el, 1)[0]
 }
 
 func benchLevelLoop2D(b *testing.B, ranks, threads int, kernel spmat.Kernel, dir dirheur.Mode, overlap int) {
@@ -145,6 +150,132 @@ func BenchmarkBFSLevelLoop1DFlatAutoOverlap(b *testing.B) {
 }
 func BenchmarkBFSLevelLoop2DFlatAutoOverlap(b *testing.B) {
 	benchLevelLoop2D(b, 16, 1, spmat.KernelAuto, dirheur.ModeAuto, 4)
+}
+
+func benchLevelLoopBatch1D(b *testing.B, scale, ranks, threads, width int) {
+	b.Helper()
+	el, err := rmat.Graph500(scale, 16, 0xbf).GenerateUndirected()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg, err := bfs1d.Distribute(el, ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := levelLoopSources(b, el, width)
+	machine := netmodel.Franklin()
+	dg.Symmetric = true
+	opt := bfs1d.DefaultOptions()
+	opt.Threads = threads
+	opt.Price = machine
+	opt.Direction = dirheur.ModeAuto
+	opt.Arena = &bfs1d.Arena{}
+	defer opt.Arena.Close()
+	w := cluster.NewWorld(ranks, machine)
+	// One warm batch builds the word-wide mask planes and exchange
+	// buffers, so allocs/op measures exactly the steady state the
+	// tentpole promises: level iterations allocation-free, with only
+	// the O(width) output assembly left per batch.
+	w.Reset()
+	if out := bfs1d.RunBatch(w, dg, srcs, opt); out.UniqueTraversedEdges == 0 {
+		b.Fatal("warm-up batch did no work")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		out := bfs1d.RunBatch(w, dg, srcs, opt)
+		if out.UniqueTraversedEdges == 0 {
+			b.Fatal("benchmark batch did no work")
+		}
+	}
+}
+
+func benchLevelLoopBatch2D(b *testing.B, scale, ranks, threads, width int) {
+	b.Helper()
+	el, err := rmat.Graph500(scale, 16, 0xbf).GenerateUndirected()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, pc := cluster.ClosestSquare(ranks)
+	if pr != pc {
+		b.Fatalf("ranks %d not square", ranks)
+	}
+	dg, err := bfs2d.Distribute(el, pr, pc, threads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := levelLoopSources(b, el, width)
+	machine := netmodel.Franklin()
+	dg.Pulls() // the batched heuristic may pull; build views outside the timer
+	var arena bfs2d.Arena
+	defer arena.Close()
+	w := cluster.NewWorld(ranks, machine)
+	grid := cluster.NewGrid(w, pr, pc)
+	opt := bfs2d.Options{
+		Threads: threads, Kernel: spmat.KernelAuto, Price: machine,
+		Arena: &arena, Direction: dirheur.ModeAuto,
+	}
+	w.Reset()
+	if out, err := bfs2d.RunBatch(w, grid, dg, srcs, opt); err != nil {
+		b.Fatal(err)
+	} else if out.UniqueTraversedEdges == 0 {
+		b.Fatal("warm-up batch did no work")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		out, err := bfs2d.RunBatch(w, grid, dg, srcs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.UniqueTraversedEdges == 0 {
+			b.Fatal("benchmark batch did no work")
+		}
+	}
+}
+
+// Multi-source batch rows (PR 6): 64 searches per mask word through one
+// shared level loop. ns/op here is whole-batch time — divide by 64 for
+// the amortized per-source figure the BENCH trajectory reports.
+func BenchmarkBFSLevelLoop1DFlatBatch64(b *testing.B) {
+	benchLevelLoopBatch1D(b, levelLoopScale, 16, 1, 64)
+}
+func BenchmarkBFSLevelLoop1DHybridBatch64(b *testing.B) {
+	benchLevelLoopBatch1D(b, levelLoopScale, 16, 4, 64)
+}
+func BenchmarkBFSLevelLoop2DFlatBatch64(b *testing.B) {
+	benchLevelLoopBatch2D(b, levelLoopScale, 16, 1, 64)
+}
+
+// TestBatchLevelLoopAllocationFree is the acceptance gate on the batched
+// steady state: with a warm arena, a whole 64-wide batch may allocate
+// only its output assembly (the per-search distance/parent planes plus a
+// few header slices) — the level iterations themselves must be
+// allocation-free. The bound is 4·width+64 mallocs per batch: output
+// assembly costs ~2·width inner planes plus O(ranks) headers, so any
+// per-level or per-vertex allocation sneaking into the word-wide kernels
+// blows through it immediately (a scale-12 R-MAT runs ~8 shared levels
+// over 16 ranks; even one malloc per rank per level would add ~128).
+func TestBatchLevelLoopAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testing.Benchmark run too slow for -short")
+	}
+	const width = 64
+	for _, tc := range []struct {
+		name  string
+		bench func(*testing.B)
+	}{
+		{"1d-flat", func(b *testing.B) { benchLevelLoopBatch1D(b, 12, 16, 1, width) }},
+		{"2d-flat", func(b *testing.B) { benchLevelLoopBatch2D(b, 12, 16, 1, width) }},
+	} {
+		res := testing.Benchmark(tc.bench)
+		if limit := int64(4*width + 64); res.AllocsPerOp() > limit {
+			t.Errorf("%s: %d allocs per 64-wide batch exceeds the %d output-assembly bound — a batch level iteration is allocating",
+				tc.name, res.AllocsPerOp(), limit)
+		}
+	}
 }
 
 // BenchmarkBFSLevelLoop1DHybridSingleCore isolates the PR 1 regression

@@ -72,11 +72,38 @@ func ProjectRMATOverlap(machine string, cores int, algo Algorithm, scale, edgeFa
 	return projectCfg(machine, cores, algo, false, false, true, perfmodel.RMATWorkload(scale, edgeFactor))
 }
 
+// ProjectRMATBatch is ProjectRMAT with multi-source batching priced in:
+// width searches (clamped to [1, 64]) share one traversal with
+// word-wide frontier masks, so the projection is the amortized
+// per-search profile — fixed per-level latencies, overheads and
+// reductions divide by the width while the shared scan and the mask
+// payloads grow only by small constant factors. Projected with
+// direction optimization (the batched heuristic retires bottom-up when
+// the mask-plane bitmap stops paying, so the projection never loses to
+// its own top-down fallback); comparing it against ProjectRMATDirOpt at
+// width 1 exposes the amortization factor.
+func ProjectRMATBatch(machine string, cores int, algo Algorithm, scale, edgeFactor, width int) (*Projection, error) {
+	return projectBatch(machine, cores, algo, width, perfmodel.RMATWorkload(scale, edgeFactor))
+}
+
 func project(machine string, cores int, algo Algorithm, wl perfmodel.Workload) (*Projection, error) {
 	return projectCfg(machine, cores, algo, false, false, false, wl)
 }
 
+func projectBatch(machine string, cores int, algo Algorithm, width int, wl perfmodel.Workload) (*Projection, error) {
+	return projectConfig(perfmodel.Config{
+		Algo: perfmodel.Algo(algo), DirOpt: true, BatchWidth: width,
+	}, machine, cores, wl)
+}
+
 func projectCfg(machine string, cores int, algo Algorithm, dirOpt, partitioned, overlap bool, wl perfmodel.Workload) (*Projection, error) {
+	return projectConfig(perfmodel.Config{
+		Algo: perfmodel.Algo(algo), DirOpt: dirOpt,
+		PartitionedBitmap: partitioned, Overlap: overlap,
+	}, machine, cores, wl)
+}
+
+func projectConfig(cfg perfmodel.Config, machine string, cores int, wl perfmodel.Workload) (*Projection, error) {
 	m, ok := netmodel.Profiles()[machine]
 	if !ok {
 		return nil, fmt.Errorf("pbfs: unknown machine %q", machine)
@@ -84,10 +111,9 @@ func projectCfg(machine string, cores int, algo Algorithm, dirOpt, partitioned, 
 	if cores < 1 {
 		return nil, fmt.Errorf("pbfs: core count %d < 1", cores)
 	}
-	b := perfmodel.Predict(perfmodel.Config{
-		Machine: m, Cores: cores, Algo: perfmodel.Algo(algo), DirOpt: dirOpt,
-		PartitionedBitmap: partitioned, Overlap: overlap,
-	}, wl)
+	cfg.Machine = m
+	cfg.Cores = cores
+	b := perfmodel.Predict(cfg, wl)
 	return &Projection{
 		GTEPS:       b.GTEPS,
 		TotalTime:   b.Total,

@@ -41,6 +41,14 @@ type result struct {
 	// never price a configuration slower than its blocking schedule.
 	OverlapChunks  int     `json:"overlap_chunks"`
 	OverlapSpeedup float64 `json:"overlap_speedup"`
+	// Multi-source batch record: the ratio of 64 sequential
+	// warm-session searches to one 64-wide bit-parallel batch, on the
+	// simulated clock (deterministic, so it can be gated tightly where
+	// the wall-clock ratio breathes with host load). Losing the
+	// bit-parallel path (falling back to per-source traversal) drops it
+	// to ~1x, so the gate holds an absolute floor rather than tracking
+	// the baseline's exact ratio.
+	SimAmortization float64 `json:"msbfs_sim_amortization"`
 }
 
 type report struct {
@@ -60,12 +68,20 @@ type tolerances struct {
 	speedupFloor float64 // speedups below this are never compared (degenerate hosts)
 	overlapFloor float64 // overlap_speedup below this fails (simulated, so tight)
 	hybridGrow   float64 // relative 1d hybrid/flat overhead growth allowed (wall clock)
+	// amortFloor is the absolute msbfs_sim_amortization floor: a
+	// 64-wide bit-parallel batch should beat 64 sequential searches
+	// several times over on the simulated clock, so falling under 2x
+	// means the batched kernels stopped amortizing (e.g. a silent
+	// fallback to the per-source path). Only enforced when the baseline
+	// itself clears the floor, so baselines predating the batch record
+	// don't wedge CI.
+	amortFloor float64
 }
 
 func defaultTolerances() tolerances {
 	return tolerances{
 		allocGrow: 0.25, allocSlack: 16, speedupDrop: 0.6, speedupFloor: 2,
-		overlapFloor: 0.999999, hybridGrow: 0.5,
+		overlapFloor: 0.999999, hybridGrow: 0.5, amortFloor: 2,
 	}
 }
 
@@ -103,6 +119,10 @@ func compare(base, cand *report, tol tolerances) []string {
 		if c.OverlapChunks >= 2 && c.OverlapSpeedup < tol.overlapFloor {
 			bad = append(bad, fmt.Sprintf("%s: overlap_speedup %.6f below %.6f (overlap priced slower than blocking)",
 				b.Config, c.OverlapSpeedup, tol.overlapFloor))
+		}
+		if b.SimAmortization >= tol.amortFloor && c.SimAmortization < tol.amortFloor {
+			bad = append(bad, fmt.Sprintf("%s: msbfs_sim_amortization %.1fx below the %.1fx floor (baseline %.1fx) — batched kernels stopped amortizing",
+				b.Config, c.SimAmortization, tol.amortFloor, b.SimAmortization))
 		}
 	}
 	if base.HybridOverhead1D > 0 && cand.HybridOverhead1D > base.HybridOverhead1D*(1+tol.hybridGrow) {

@@ -168,3 +168,40 @@ func TestCompareOverlapAndHybridGates(t *testing.T) {
 		t.Fatalf("hybrid overhead blowup not flagged: %v", bad)
 	}
 }
+
+// TestCompareBatchAmortizationGate covers the PR 6 addition: a 64-wide
+// bit-parallel batch falling under the absolute simulated-clock
+// amortization floor is a regression (the batched kernels silently
+// stopped amortizing), but only when the baseline itself cleared the
+// floor, and movement above the floor passes regardless of how far the
+// baseline sat above it.
+func TestCompareBatchAmortizationGate(t *testing.T) {
+	tol := defaultTolerances()
+	base := &report{Scale: 16, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, SimAmortization: 8.1},
+	}}
+
+	noisy := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, SimAmortization: 2.4},
+	}}
+	if bad := compare(base, noisy, tol); len(bad) != 0 {
+		t.Fatalf("above-floor amortization flagged: %v", bad)
+	}
+
+	collapsed := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, SimAmortization: 1.1},
+	}}
+	bad := compare(base, collapsed, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "msbfs_sim_amortization") {
+		t.Fatalf("collapsed amortization not flagged: %v", bad)
+	}
+
+	// A degenerate baseline host (or a pre-PR-6 baseline file with the
+	// field absent, unmarshaling to 0) never wedges CI.
+	weakBase := &report{Scale: 16, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, SimAmortization: 1.3},
+	}}
+	if bad := compare(weakBase, collapsed, tol); len(bad) != 0 {
+		t.Fatalf("sub-floor baseline enforced the floor: %v", bad)
+	}
+}

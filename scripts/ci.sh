@@ -72,6 +72,15 @@ go test -race -short -run 'Conformance' .
 go test -race ./internal/cluster ./internal/smp
 go test -race -run 'Rect|Overlap' ./internal/bfs2d
 
+echo "== race smoke (bit-parallel multi-source kernels) =="
+# The MS-BFS batch path: word-wide mask kernels and merges, the batched
+# 1D/2D drivers (whose hybrid variants fan the mask planes out over the
+# worker pools), and the session-level batch serving surface including
+# the chunked >64-source path exercised by the facade tests.
+go test -race -run 'Mask|Batch' ./internal/spmat ./internal/spvec ./internal/bits
+go test -race -run 'RunBatch' ./internal/bfs1d ./internal/bfs2d
+go test -race -run 'BFSBatch' .
+
 echo "== bench smoke (BFS level loops, 1 iteration) =="
 go test -run '^$' -bench=BFS -benchtime=1x -benchmem .
 

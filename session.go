@@ -62,22 +62,33 @@ func (s *Session) Search(g *Graph, source int64, opt Options) (*Result, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	eng, err := s.engineLocked(lay, g)
+	if err != nil {
+		return nil, err
+	}
+	return eng.search(source, opt)
+}
+
+// engineLocked returns the cached engine for lay bound to g, building or
+// rebinding as needed. The caller holds s.mu.
+func (s *Session) engineLocked(lay layout, g *Graph) (engine, error) {
 	if s.closed {
 		return nil, fmt.Errorf("pbfs: session is closed")
 	}
 	eng, ok := s.engines[lay]
 	switch {
 	case !ok:
+		var err error
 		if eng, err = newEngine(lay, g); err != nil {
 			return nil, err
 		}
 		s.engines[lay] = eng
 	case eng.boundTo() != g:
-		if err = eng.rebind(g); err != nil {
+		if err := eng.rebind(g); err != nil {
 			return nil, err
 		}
 	}
-	return eng.search(source, opt)
+	return eng, nil
 }
 
 // Close releases every cached engine (worker-pool goroutines, arenas).
