@@ -1,0 +1,127 @@
+// Command bfsserve is the batching BFS query server: a long-running
+// HTTP front end over the bit-parallel multi-source kernel. Queries
+// POSTed to /query are formed into MS-BFS batches of up to 64 sources
+// (batch full OR max-wait elapsed), executed on a warm pbfs session
+// pool, and answered with each query's distances and its amortized
+// share of the batch's clock; /metrics reports per-SLO-class queue
+// wait, occupancy, latency percentiles, and harmonic-mean TEPS.
+//
+// Example:
+//
+//	bfsserve -addr :8080 -scale 16 -algo 1d -ranks 16 -machine franklin \
+//	         -policy priority -max-wait 2ms -sessions 2
+//
+//	curl -s localhost:8080/query -d '{"source": 7, "class": "interactive"}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, queued queries
+// flush as final batches, and in-flight batches finish before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+var algoNames = map[string]pbfs.Algorithm{
+	"1d":        pbfs.OneDFlat,
+	"1d-hybrid": pbfs.OneDHybrid,
+	"2d":        pbfs.TwoDFlat,
+	"2d-hybrid": pbfs.TwoDHybrid,
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		scale      = flag.Int("scale", 14, "R-MAT scale (2^scale vertices)")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex")
+		seed       = flag.Uint64("seed", 1, "graph seed")
+		web        = flag.Bool("web", false, "use the high-diameter web-crawl generator instead of R-MAT")
+		graphFile  = flag.String("graph", "", "serve a binary edge file (cmd/graphgen) instead of a generated graph")
+		algoName   = flag.String("algo", "1d", "algorithm: 1d, 1d-hybrid, 2d, 2d-hybrid")
+		ranks      = flag.Int("ranks", 16, "emulated rank count")
+		threads    = flag.Int("threads", 0, "threads per rank (0 = machine default for hybrid variants)")
+		machine    = flag.String("machine", "franklin", "cost model: franklin, hopper, carver, or '' for none")
+		batchMax   = flag.Int("batch-max", pbfs.BatchWidth, "dispatch width (clamped to 64, one mask word)")
+		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "max queue wait before a partial batch dispatches")
+		queueDepth = flag.Int("queue-depth", 1024, "pending-queue admission limit")
+		policyName = flag.String("policy", "fcfs", "scheduling policy: fcfs, sjf, priority")
+		aging      = flag.Duration("aging", 10*time.Millisecond, "priority-policy aging quantum (priority gains 1 tier per quantum waited)")
+		sessions   = flag.Int("sessions", 2, "session pool size: batches that may execute concurrently")
+	)
+	flag.Parse()
+
+	algo, ok := algoNames[*algoName]
+	if !ok {
+		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	policy, err := serve.ParsePolicy(*policyName, *aging)
+	if err != nil {
+		fatal(err)
+	}
+
+	var g *pbfs.Graph
+	switch {
+	case *graphFile != "":
+		g, err = pbfs.NewGraphFromFile(*graphFile)
+	case *web:
+		g, err = pbfs.NewWebCrawlGraph(1<<uint(*scale), *seed)
+	default:
+		g, err = pbfs.NewRMATGraph(*scale, *edgeFactor, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("bfsserve: graph ready (%d vertices, %d edges); warming %d session(s)...\n",
+		g.NumVerts(), g.NumEdges(), *sessions)
+	srv, err := serve.New(serve.Config{
+		Graph: g,
+		Options: pbfs.Options{
+			Algorithm: algo, Ranks: *ranks, Threads: *threads, Machine: *machine,
+		},
+		BatchMax: *batchMax, MaxWait: *maxWait, QueueDepth: *queueDepth,
+		Policy: policy, Sessions: *sessions,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("bfsserve: draining...")
+		srv.Shutdown() // stop admission, flush the queue, finish in-flight batches
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		snap := srv.Metrics()
+		fmt.Printf("bfsserve: drained: %d queries in %d batches (mean occupancy %.1f)\n",
+			snap.Queries, snap.Batches, snap.MeanOccupancy)
+	}()
+	fmt.Printf("bfsserve: serving %s (policy %s, batch<=%d, max-wait %v, queue %d)\n",
+		*addr, policy.Name(), *batchMax, *maxWait, *queueDepth)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsserve:", err)
+	os.Exit(1)
+}

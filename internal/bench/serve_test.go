@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	pbfs "repro"
+)
+
+// TestServeBenchDeterministic runs the serving benchmark twice through
+// the same warm session and demands bit-identical profiles: arrivals,
+// batch boundaries, and the simulated clock are all seeded, so any
+// drift means the BENCH gate would flake.
+func TestServeBenchDeterministic(t *testing.T) {
+	g, err := pbfs.NewRMATGraph(10, 8, 0xbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := pbfs.Options{Algorithm: pbfs.OneDFlat, Ranks: 4, Machine: "franklin"}
+	pool := g.Sources(64, 0xbe)
+	if len(pool) == 0 {
+		t.Fatal("no sources")
+	}
+	sess := pbfs.NewSession()
+	defer sess.Close()
+
+	first, err := serveBench(sess, g, opt, pool, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.queries != serveQueries {
+		t.Fatalf("served %d queries, want %d", first.queries, serveQueries)
+	}
+	if first.batches <= 0 || first.occupancy < 16 {
+		t.Fatalf("batches=%d occupancy=%.1f: want occupancy >= 16",
+			first.batches, first.occupancy)
+	}
+	if first.amortizedSimNs <= 0 {
+		t.Fatalf("amortized sim ns = %g", first.amortizedSimNs)
+	}
+
+	second, err := serveBench(sess, g, opt, pool, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("serveBench not deterministic:\nfirst  %+v\nsecond %+v", first, second)
+	}
+
+	// A different seed reshuffles the arrival stream but still serves
+	// the full query count.
+	other, err := serveBench(sess, g, opt, pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.queries != serveQueries {
+		t.Fatalf("seed 8 served %d queries, want %d", other.queries, serveQueries)
+	}
+}

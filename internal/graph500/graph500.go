@@ -115,6 +115,45 @@ func Summarize(runs []Run) Stats {
 	return st
 }
 
+// SummarizeByClass computes per-group batch statistics for runs tagged
+// with a class label (the serving layer's SLO classes): each non-empty
+// group is summarized independently, so a slow "batch"-class search
+// cannot drag down the "interactive" harmonic mean. Empty groups are
+// dropped rather than panicking, since a serving window may simply not
+// have seen a class.
+func SummarizeByClass(classes map[string][]Run) map[string]Stats {
+	out := make(map[string]Stats, len(classes))
+	for class, runs := range classes {
+		if len(runs) == 0 {
+			continue
+		}
+		out[class] = Summarize(runs)
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile of values by the nearest-rank
+// method (p in (0, 100]; p=50 is the median rank, p=100 the maximum).
+// It returns 0 on an empty slice and does not modify its argument.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // BatchStats extends Stats with the whole-batch aggregates of a
 // multi-source (MS-BFS) run, where one traversal serves many searches.
 type BatchStats struct {

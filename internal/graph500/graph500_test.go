@@ -241,3 +241,53 @@ func TestValidateOutputErrorBranches(t *testing.T) {
 		t.Error("reachable set mismatch accepted")
 	}
 }
+
+func TestSummarizeByClass(t *testing.T) {
+	classes := map[string][]Run{
+		"interactive": {
+			{Source: 1, Time: 0.5, Edges: 1000, Levels: 5},
+			{Source: 2, Time: 0.25, Edges: 1000, Levels: 7},
+		},
+		"batch": {
+			{Source: 3, Time: 10, Edges: 1000, Levels: 4},
+		},
+		"unseen": nil,
+	}
+	got := SummarizeByClass(classes)
+	if len(got) != 2 {
+		t.Fatalf("got %d class summaries, want 2 (empty class dropped): %v", len(got), got)
+	}
+	if _, ok := got["unseen"]; ok {
+		t.Fatal("empty class should be dropped, not summarized")
+	}
+	// Each group is the independent Summarize of its runs: a 10-second
+	// batch-class search must not perturb the interactive statistics.
+	want := Summarize(classes["interactive"])
+	if g := got["interactive"]; g != want {
+		t.Errorf("interactive stats %+v != independent Summarize %+v", g, want)
+	}
+	if g := got["batch"]; g.NumRuns != 1 || g.HarmonicMeanTEPS != 100 {
+		t.Errorf("batch stats wrong: %+v", g)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{30, 10, 50, 20, 40} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 10}, {20, 10}, {50, 30}, {90, 50}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("Percentile(p=%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %g, want 0", got)
+	}
+	if vals[0] != 30 {
+		t.Error("Percentile must not sort its argument in place")
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"time"
+
+	pbfs "repro"
+)
+
+// Former is the batch-formation rule: it watches a Queue and decides,
+// for a given now, whether a batch dispatches and which requests ride
+// in it. The rule is "batch full OR max-wait elapsed":
+//
+//   - BatchMax pending requests dispatch immediately (a full mask
+//     word's worth of amortization is on the table; waiting adds
+//     latency and buys nothing), and
+//   - otherwise a batch of everything pending (up to BatchMax, in
+//     policy order) dispatches once the oldest pending request has
+//     waited MaxWait — occupancy is traded for bounded queue delay.
+//
+// The Former holds no clock: Next and Flush take explicit times, so a
+// test (or the deterministic serving benchmark) drives formation with
+// a FakeClock and gets the same batches every run.
+type Former struct {
+	Queue  *Queue
+	Policy Policy
+	// BatchMax is the dispatch width; it is clamped to [1,
+	// pbfs.BatchWidth] (one mask word) at use.
+	BatchMax int
+	// MaxWait bounds how long an admitted request waits before a
+	// partial batch dispatches. Zero means "never dispatch partial
+	// batches on time" — only full batches and Flush drain the queue.
+	MaxWait time.Duration
+}
+
+// width returns the clamped dispatch width.
+func (f *Former) width() int {
+	k := f.BatchMax
+	if k < 1 {
+		k = 1
+	}
+	if k > pbfs.BatchWidth {
+		k = pbfs.BatchWidth
+	}
+	return k
+}
+
+// Next applies the dispatch rule at now. It returns the formed batch,
+// or nil and the duration until the earliest max-wait deadline; a zero
+// wait with a nil batch means nothing is pending (wait for an
+// arrival). Callers loop on Next until it returns nil — a burst larger
+// than BatchMax dispatches as several consecutive full batches.
+func (f *Former) Next(now time.Time) (batch []*Request, wait time.Duration) {
+	k := f.width()
+	if f.Queue.Len() >= k {
+		return f.Queue.take(f.Policy, now, k), 0
+	}
+	oldest, ok := f.Queue.oldest()
+	if !ok {
+		return nil, 0
+	}
+	if f.MaxWait <= 0 {
+		return nil, 0
+	}
+	deadline := oldest.Add(f.MaxWait)
+	if d := deadline.Sub(now); d > 0 {
+		return nil, d
+	}
+	return f.Queue.take(f.Policy, now, k), 0
+}
+
+// Flush drains everything pending into policy-ordered batches of at
+// most BatchMax, ignoring deadlines — the graceful-shutdown path. An
+// empty queue flushes to nothing.
+func (f *Former) Flush(now time.Time) [][]*Request {
+	var out [][]*Request
+	k := f.width()
+	for {
+		b := f.Queue.take(f.Policy, now, k)
+		if b == nil {
+			return out
+		}
+		out = append(out, b)
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// QueryRequest is the /query request body.
+type QueryRequest struct {
+	Source int64  `json:"source"`
+	Class  string `json:"class"`
+	// Dist and Parent request the full per-vertex vectors in the
+	// response (they are NumVerts entries each, so clients opt in).
+	Dist   bool `json:"dist,omitempty"`
+	Parent bool `json:"parent,omitempty"`
+}
+
+// QueryResponse is the /query response body for a served query.
+type QueryResponse struct {
+	ID             uint64  `json:"id"`
+	Source         int64   `json:"source"`
+	Class          string  `json:"class"`
+	Levels         int64   `json:"levels"`
+	Reached        int64   `json:"reached"`
+	TraversedEdges int64   `json:"traversed_edges"`
+	Batch          uint64  `json:"batch"`
+	Occupancy      int     `json:"occupancy"`
+	QueueWaitNs    int64   `json:"queue_wait_ns"`
+	SimTimeSeconds float64 `json:"sim_time_seconds"`
+	TEPS           float64 `json:"teps"`
+
+	Dist   []int64 `json:"dist,omitempty"`
+	Parent []int64 `json:"parent,omitempty"`
+}
+
+// errorBody is the JSON envelope of every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query   {"source": 7, "class": "interactive", "dist": true}
+//	GET  /metrics per-SLO-class Snapshot
+//	GET  /healthz {"status": "ok"} — 503 once draining
+//
+// Rejections map to status codes: queue_full → 429, draining → 503,
+// bad_source/unknown_class → 400.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func rejectStatus(reason string) int {
+	switch reason {
+	case RejectQueueFull:
+		return http.StatusTooManyRequests
+	case RejectDraining:
+		return http.StatusServiceUnavailable
+	default: // bad_source, unknown_class
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	var qr QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if qr.Class == "" {
+		qr.Class = "standard"
+	}
+	resp, err := s.Query(r.Context(), qr.Source, qr.Class)
+	if err != nil {
+		if rej, ok := err.(*RejectError); ok {
+			writeJSON(w, rejectStatus(rej.Reason), errorBody{Error: rej.Reason})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	out := QueryResponse{
+		ID: resp.ID, Source: resp.Source, Class: resp.Class,
+		Levels: resp.Levels, Reached: resp.Reached,
+		TraversedEdges: resp.TraversedEdges,
+		Batch:          resp.Batch, Occupancy: resp.Occupancy,
+		QueueWaitNs:    resp.QueueWait.Nanoseconds(),
+		SimTimeSeconds: resp.SimTime, TEPS: resp.TEPS,
+	}
+	if qr.Dist {
+		out.Dist = resp.Dist
+	}
+	if qr.Parent {
+		out.Parent = resp.Parent
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

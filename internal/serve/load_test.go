@@ -1,0 +1,179 @@
+package serve
+
+// Deterministic serving load test — the PR's acceptance criterion. A
+// fixed-seed stream of ≥1k queries across the three SLO classes is
+// formed into batches by the Former under a FakeClock (so batch
+// composition is identical on every run) and executed through one warm
+// pbfs.Session. Every returned distance vector must be bit-identical
+// to the serial reference, the mean batch occupancy must reach 16, and
+// the amortized per-query simulated latency must beat the steady-state
+// single-search session latency — the whole point of batching.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	pbfs "repro"
+)
+
+func TestDeterministicLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	const (
+		seed    = uint64(0x10ad)
+		queries = 1024
+	)
+	g, err := pbfs.NewRMATGraph(12, 8, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := pbfs.Options{Algorithm: pbfs.OneDFlat, Ranks: 8, Machine: "franklin"}
+	pool := g.Sources(64, seed)
+	if len(pool) < 8 {
+		t.Fatalf("only %d sources", len(pool))
+	}
+	refs := make(map[int64][]int64, len(pool))
+	for _, src := range pool {
+		refs[src] = g.SerialBFS(src).Dist
+	}
+
+	sess := pbfs.NewSession()
+	defer sess.Close()
+
+	// Steady-state single-search baseline: mean simulated seconds over
+	// a handful of warm searches (the first call also warms the
+	// engine, which the serving path shares).
+	var singleSim float64
+	const singles = 8
+	for i := 0; i < singles; i++ {
+		res, err := sess.Search(g, pool[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleSim += res.SimTime
+	}
+	singleSim /= singles
+
+	clock := NewFakeClock(time.Unix(1_700_000_000, 0))
+	q := NewQueue(4096)
+	former := &Former{Queue: q, Policy: Priority{Aging: 5 * time.Millisecond},
+		BatchMax: 64, MaxWait: 3 * time.Millisecond}
+	metrics := NewMetrics()
+	classes := DefaultClasses()
+
+	var (
+		servedQueries int
+		totalSim      float64
+		occupancies   []int
+	)
+	execute := func(batch []*Request) {
+		sources := make([]int64, len(batch))
+		for i, r := range batch {
+			sources[i] = r.Source
+		}
+		br, err := sess.BFSBatch(g, sources, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSim += br.SimTime
+		occupancies = append(occupancies, len(batch))
+		metrics.RecordBatch(len(batch))
+		now := clock.Now()
+		for i, req := range batch {
+			r := br.Results[i]
+			ref := refs[req.Source]
+			for v := range ref {
+				if r.Dist[v] != ref[v] {
+					t.Fatalf("query %d (source %d, batch %d): dist[%d] = %d, serial reference %d",
+						req.ID, req.Source, len(occupancies), v, r.Dist[v], ref[v])
+				}
+			}
+			servedQueries++
+			metrics.Record(&Response{
+				ID: req.ID, Source: req.Source, Class: req.Class,
+				Levels: r.Levels, Occupancy: len(batch),
+				QueueWait: now.Sub(req.Enqueued),
+				SimTime:   r.SimTime, TraversedEdges: r.TraversedEdges,
+			})
+		}
+	}
+
+	// Seeded arrival process: bursts of 8–32 queries, 1ms apart, class
+	// and source drawn from the same fixed stream every run.
+	rng := rand.New(rand.NewSource(int64(seed)))
+	pushed := 0
+	var id uint64
+	for pushed < queries {
+		burst := 8 + rng.Intn(25)
+		if pushed+burst > queries {
+			burst = queries - pushed
+		}
+		for i := 0; i < burst; i++ {
+			cl := classes[rng.Intn(len(classes))]
+			src := pool[rng.Intn(len(pool))]
+			id++
+			req := &Request{
+				ID: id, Source: src, Class: cl.Name, Priority: cl.Priority,
+				Est: g.Degree(src), Enqueued: clock.Now(),
+			}
+			if err := q.Push(req); err != nil {
+				t.Fatalf("push %d: %v", id, err)
+			}
+		}
+		pushed += burst
+		clock.Advance(time.Millisecond)
+		for {
+			batch, _ := former.Next(clock.Now())
+			if batch == nil {
+				break
+			}
+			execute(batch)
+		}
+	}
+	for _, batch := range former.Flush(clock.Now()) {
+		execute(batch)
+	}
+
+	if servedQueries != queries {
+		t.Fatalf("served %d of %d queries", servedQueries, queries)
+	}
+	var occSum int
+	for _, o := range occupancies {
+		occSum += o
+	}
+	meanOcc := float64(occSum) / float64(len(occupancies))
+	if meanOcc < 16 {
+		t.Fatalf("mean batch occupancy %.1f below 16 (batches: %v)", meanOcc, occupancies)
+	}
+	amortized := totalSim / float64(queries)
+	if amortized >= singleSim {
+		t.Fatalf("amortized per-query sim time %.3gs does not beat single-search %.3gs at occupancy %.1f",
+			amortized, singleSim, meanOcc)
+	}
+	t.Logf("queries=%d batches=%d mean occupancy=%.1f amortized=%.3gs single=%.3gs speedup=%.1fx",
+		queries, len(occupancies), meanOcc, amortized, singleSim, singleSim/amortized)
+
+	// The per-class metrics must account for every query, and every
+	// class with traffic reports a positive harmonic-mean TEPS.
+	snap := metrics.Snapshot(false)
+	var served int64
+	for _, c := range snap.Classes {
+		served += c.Served
+		if c.Served > 0 {
+			if c.HarmonicMeanTEPS <= 0 {
+				t.Errorf("class %s: harmonic TEPS %g", c.Class, c.HarmonicMeanTEPS)
+			}
+			if c.AmortizedP50Ns <= 0 {
+				t.Errorf("class %s: amortized p50 %g", c.Class, c.AmortizedP50Ns)
+			}
+		}
+	}
+	if served != queries {
+		t.Errorf("metrics served %d, want %d", served, queries)
+	}
+	if snap.Batches != int64(len(occupancies)) {
+		t.Errorf("metrics batches %d, want %d", snap.Batches, len(occupancies))
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/graph500"
+)
+
+// metricsWindow bounds the per-class sample window the percentile and
+// TEPS statistics are computed over, so a long-running server's
+// metrics stay O(1) in served traffic. Counters (served, rejected,
+// occupancy means) are lifetime.
+const metricsWindow = 4096
+
+// sample is one served query's metric record.
+type sample struct {
+	waitNs    float64
+	amortNs   float64
+	occupancy int
+	run       graph500.Run
+}
+
+// classAcc accumulates one SLO class's counters and sample window.
+type classAcc struct {
+	served   int64
+	rejected map[string]int64
+	occSum   int64
+	window   []sample
+	next     int
+}
+
+// Metrics is the server's per-SLO-class accounting: lifetime
+// served/rejected counters and batch occupancy, plus windowed
+// queue-wait and amortized-latency percentiles and the Graph 500
+// harmonic-mean TEPS per class. Safe for concurrent use.
+type Metrics struct {
+	mu      sync.Mutex
+	queries int64
+	batches int64
+	occSum  int64
+	classes map[string]*classAcc
+}
+
+// NewMetrics returns an empty accumulator.
+func NewMetrics() *Metrics {
+	return &Metrics{classes: make(map[string]*classAcc)}
+}
+
+func (m *Metrics) class(name string) *classAcc {
+	c := m.classes[name]
+	if c == nil {
+		c = &classAcc{rejected: make(map[string]int64)}
+		m.classes[name] = c
+	}
+	return c
+}
+
+// RecordBatch records one dispatched batch's occupancy.
+func (m *Metrics) RecordBatch(occupancy int) {
+	m.mu.Lock()
+	m.batches++
+	m.occSum += int64(occupancy)
+	m.mu.Unlock()
+}
+
+// Record records one served query.
+func (m *Metrics) Record(resp *Response) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	c := m.class(resp.Class)
+	c.served++
+	c.occSum += int64(resp.Occupancy)
+	s := sample{
+		waitNs:    float64(resp.QueueWait.Nanoseconds()),
+		amortNs:   resp.SimTime * 1e9,
+		occupancy: resp.Occupancy,
+		run: graph500.Run{
+			Source: resp.Source, Time: resp.SimTime,
+			Edges: resp.TraversedEdges, Levels: resp.Levels,
+		},
+	}
+	if len(c.window) < metricsWindow {
+		c.window = append(c.window, s)
+	} else {
+		c.window[c.next] = s
+		c.next = (c.next + 1) % metricsWindow
+	}
+}
+
+// RecordReject counts one rejection for class (possibly "" when the
+// class itself was unknown) with the given reason.
+func (m *Metrics) RecordReject(class, reason string) {
+	m.mu.Lock()
+	m.class(class).rejected[reason]++
+	m.mu.Unlock()
+}
+
+// ClassSnapshot is one SLO class's reported metrics. Percentiles and
+// TEPS are over the class's recent sample window; counters are
+// lifetime.
+type ClassSnapshot struct {
+	Class    string           `json:"class"`
+	Served   int64            `json:"served"`
+	Rejected map[string]int64 `json:"rejected,omitempty"`
+
+	MeanOccupancy float64 `json:"mean_occupancy"`
+
+	QueueWaitP50Ns float64 `json:"queue_wait_p50_ns"`
+	QueueWaitP95Ns float64 `json:"queue_wait_p95_ns"`
+	QueueWaitP99Ns float64 `json:"queue_wait_p99_ns"`
+
+	AmortizedP50Ns float64 `json:"amortized_latency_p50_ns"`
+	AmortizedP95Ns float64 `json:"amortized_latency_p95_ns"`
+	AmortizedP99Ns float64 `json:"amortized_latency_p99_ns"`
+
+	HarmonicMeanTEPS float64 `json:"harmonic_mean_teps"`
+}
+
+// Snapshot is the whole server's reported metrics.
+type Snapshot struct {
+	Queries       int64           `json:"queries"`
+	Batches       int64           `json:"batches"`
+	MeanOccupancy float64         `json:"mean_occupancy"`
+	Draining      bool            `json:"draining"`
+	Classes       []ClassSnapshot `json:"classes"`
+}
+
+// Snapshot summarizes the current state; classes sort by name.
+func (m *Metrics) Snapshot(draining bool) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{Queries: m.queries, Batches: m.batches, Draining: draining}
+	if m.batches > 0 {
+		snap.MeanOccupancy = float64(m.occSum) / float64(m.batches)
+	}
+	byClass := make(map[string][]graph500.Run, len(m.classes))
+	for name, c := range m.classes {
+		cs := ClassSnapshot{Class: name, Served: c.served}
+		if len(c.rejected) > 0 {
+			cs.Rejected = make(map[string]int64, len(c.rejected))
+			for reason, n := range c.rejected {
+				cs.Rejected[reason] = n
+			}
+		}
+		if c.served > 0 {
+			cs.MeanOccupancy = float64(c.occSum) / float64(c.served)
+		}
+		if len(c.window) > 0 {
+			waits := make([]float64, len(c.window))
+			amorts := make([]float64, len(c.window))
+			runs := make([]graph500.Run, len(c.window))
+			for i, s := range c.window {
+				waits[i], amorts[i], runs[i] = s.waitNs, s.amortNs, s.run
+			}
+			cs.QueueWaitP50Ns = graph500.Percentile(waits, 50)
+			cs.QueueWaitP95Ns = graph500.Percentile(waits, 95)
+			cs.QueueWaitP99Ns = graph500.Percentile(waits, 99)
+			cs.AmortizedP50Ns = graph500.Percentile(amorts, 50)
+			cs.AmortizedP95Ns = graph500.Percentile(amorts, 95)
+			cs.AmortizedP99Ns = graph500.Percentile(amorts, 99)
+			byClass[name] = runs
+		}
+		snap.Classes = append(snap.Classes, cs)
+	}
+	for name, st := range graph500.SummarizeByClass(byClass) {
+		for i := range snap.Classes {
+			if snap.Classes[i].Class == name {
+				snap.Classes[i].HarmonicMeanTEPS = st.HarmonicMeanTEPS
+			}
+		}
+	}
+	sort.Slice(snap.Classes, func(i, j int) bool {
+		return snap.Classes[i].Class < snap.Classes[j].Class
+	})
+	return snap
+}

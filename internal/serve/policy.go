@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Policy orders pending requests at dispatch time: the former takes
+// the first BatchMax requests of the sorted order. Less reports
+// whether a dispatches before b at time now; every policy must fall
+// back to admission order (seq) on ties so dispatch is deterministic
+// and starvation-free within a tier.
+type Policy interface {
+	Name() string
+	Less(a, b *Request, now time.Time) bool
+}
+
+// sortRequests stably sorts pending by the policy at now.
+func sortRequests(pending []*Request, p Policy, now time.Time) {
+	sort.SliceStable(pending, func(i, j int) bool {
+		return p.Less(pending[i], pending[j], now)
+	})
+}
+
+// FCFS dispatches in admission order.
+type FCFS struct{}
+
+// Name returns "fcfs".
+func (FCFS) Name() string { return "fcfs" }
+
+// Less orders by admission sequence.
+func (FCFS) Less(a, b *Request, _ time.Time) bool { return a.seq < b.seq }
+
+// SJF dispatches shortest estimated job first: the request whose
+// source has the smallest degree (the admission-time stand-in for
+// first-level frontier work) goes first, FCFS on ties. Cheap point
+// lookups overtake heavy hub traversals, trading tail latency for the
+// hubs against mean latency for everyone else.
+type SJF struct{}
+
+// Name returns "sjf".
+func (SJF) Name() string { return "sjf" }
+
+// Less orders by estimated work, then admission order.
+func (SJF) Less(a, b *Request, _ time.Time) bool {
+	if a.Est != b.Est {
+		return a.Est < b.Est
+	}
+	return a.seq < b.seq
+}
+
+// Priority dispatches by SLO-class priority with aging: a request's
+// effective priority is its class base plus Wait/Aging, so a starved
+// low-tier request eventually outranks a stream of fresh high-tier
+// arrivals. Aging <= 0 disables aging (pure strict priority, which can
+// starve).
+type Priority struct {
+	Aging time.Duration
+}
+
+// Name returns "priority".
+func (Priority) Name() string { return "priority" }
+
+// Effective returns r's aged priority at now.
+func (p Priority) Effective(r *Request, now time.Time) float64 {
+	e := float64(r.Priority)
+	if p.Aging > 0 {
+		if wait := now.Sub(r.Enqueued); wait > 0 {
+			e += float64(wait) / float64(p.Aging)
+		}
+	}
+	return e
+}
+
+// Less orders by effective priority (higher first), then admission
+// order.
+func (p Priority) Less(a, b *Request, now time.Time) bool {
+	ea, eb := p.Effective(a, now), p.Effective(b, now)
+	if ea != eb {
+		return ea > eb
+	}
+	return a.seq < b.seq
+}
+
+// ParsePolicy maps a policy name ("fcfs", "sjf", "priority") to its
+// implementation; priority uses the given aging quantum.
+func ParsePolicy(name string, aging time.Duration) (Policy, error) {
+	switch name {
+	case "fcfs":
+		return FCFS{}, nil
+	case "sjf":
+		return SJF{}, nil
+	case "priority":
+		return Priority{Aging: aging}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown policy %q (want fcfs, sjf or priority)", name)
+}

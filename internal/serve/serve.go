@@ -1,0 +1,163 @@
+// Package serve is the batching BFS query front end: a long-running
+// server that accepts single-source BFS queries, forms them into
+// multi-source (MS-BFS) batches of up to pbfs.BatchWidth sources, and
+// runs each batch through a pbfs.SessionPool so every query shares the
+// batch's edge scans and collectives. It is layer (b) of the ROADMAP's
+// "multi-source batched BFS + a real serving front end" item: the
+// bit-parallel kernel amortizes the machine work, this package turns
+// that amortization into served traffic.
+//
+// The pipeline is queue → former → session pool:
+//
+//   - Queue admits requests under a bounded depth and rejects with a
+//     reason (queue_full, draining, bad_source, unknown_class) when it
+//     cannot — saturation is a fast failure, not an unbounded backlog.
+//   - Former decides when a batch dispatches: immediately when
+//     BatchMax requests are pending, otherwise when the oldest pending
+//     request has waited MaxWait. It is driven by explicit time.Time
+//     arguments (an injected clock), so scheduling is deterministic
+//     under test.
+//   - Policy orders the pending requests at dispatch: FCFS, SJF by
+//     estimated frontier work, or Priority with aging.
+//   - The session pool (pbfs.SessionPool) bounds batch concurrency;
+//     each member session keeps one warm engine per configuration, so
+//     a batch pays no setup.
+//
+// Metrics are tracked per SLO class (queue-wait and amortized-latency
+// percentiles, batch occupancy, harmonic-mean TEPS — the Graph 500
+// reporting currency) and exposed, together with /query and /healthz,
+// by the HTTP handler in http.go. Shutdown drains: admission stops,
+// the queue flushes through the former, and every request still in
+// flight receives exactly one response.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps to the serving pipeline. The Former takes
+// explicit time.Time arguments, so any Clock (notably FakeClock) makes
+// batch formation deterministic; the Server stamps arrivals with its
+// configured Clock and uses real timers only to wake its loop.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is the real-time clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced Clock for deterministic tests and
+// benchmarks. The zero value starts at the zero time; it is safe for
+// concurrent use.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a fake clock reading start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{t: start} }
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Class is an SLO class: a named service tier whose priority orders
+// queries under the Priority policy and whose metrics are reported
+// separately.
+type Class struct {
+	Name     string
+	Priority int
+}
+
+// DefaultClasses returns the built-in three-tier SLO ladder.
+func DefaultClasses() []Class {
+	return []Class{
+		{Name: "interactive", Priority: 2},
+		{Name: "standard", Priority: 1},
+		{Name: "batch", Priority: 0},
+	}
+}
+
+// Request is one admitted BFS query waiting for (or riding in) a
+// batch. Exported fields are set at admission and read by policies;
+// tests may construct Requests directly.
+type Request struct {
+	ID       uint64
+	Source   int64
+	Class    string
+	Priority int   // base priority, from the request's Class
+	Est      int64 // estimated frontier work: the source's degree
+	Enqueued time.Time
+
+	// seq is the admission order, the FCFS key and every policy's
+	// tie-break; done receives exactly one Response (buffered, so
+	// completion never blocks on a slow reader).
+	seq  uint64
+	done chan *Response
+}
+
+// Response is the outcome of one query: either a served BFS (Dist and
+// Parent populated per the request) or a rejection with a reason.
+type Response struct {
+	ID     uint64
+	Source int64
+	Class  string
+	// Rejected, when non-empty, is the admission/drain rejection
+	// reason; every other field except ID/Source/Class is zero.
+	Rejected string
+	// Err reports a batch execution failure (the whole batch failed;
+	// the query was not served).
+	Err error
+
+	Dist    []int64
+	Parent  []int64
+	Levels  int64
+	Reached int64
+
+	// Batch and Occupancy identify the ride: which dispatch the query
+	// was served by and how many queries shared it.
+	Batch     uint64
+	Occupancy int
+	// QueueWait is admission-to-dispatch on the server's clock.
+	QueueWait time.Duration
+	// SimTime is the query's amortized share of the batch's simulated
+	// machine seconds (zero without a Machine profile); TEPS is the
+	// query's traversed-edges rate at that amortized time.
+	SimTime float64
+	TEPS    float64
+	// TraversedEdges counts the undirected edges incident to the
+	// query's reached set: the TEPS denominator.
+	TraversedEdges int64
+}
+
+// Rejection reasons.
+const (
+	RejectQueueFull = "queue_full"
+	RejectDraining  = "draining"
+	RejectBadSource = "bad_source"
+	RejectBadClass  = "unknown_class"
+)
+
+// RejectError is the admission-failure error: the query was not
+// enqueued (or was flushed at drain) for the given Reason.
+type RejectError struct {
+	Reason string
+}
+
+func (e *RejectError) Error() string { return fmt.Sprintf("serve: rejected: %s", e.Reason) }

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pbfs "repro"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Graph is the served graph; Options is the engine configuration
+	// every batch runs under (the layout fields select the cached
+	// engine each pool session builds once).
+	Graph   *pbfs.Graph
+	Options pbfs.Options
+
+	// BatchMax is the dispatch width (clamped to [1, pbfs.BatchWidth]);
+	// MaxWait bounds how long an admitted query waits before a partial
+	// batch dispatches (default 2ms).
+	BatchMax int
+	MaxWait  time.Duration
+
+	// QueueDepth bounds the pending queue; admission beyond it rejects
+	// with queue_full (default 4 * BatchMax).
+	QueueDepth int
+
+	// Policy orders dispatch (default FCFS).
+	Policy Policy
+
+	// Sessions is the pbfs.SessionPool size: how many batches may
+	// execute concurrently (default 1).
+	Sessions int
+
+	// Classes lists the accepted SLO classes (default DefaultClasses).
+	Classes []Class
+
+	// Clock stamps admissions and queue waits (default Wall). The
+	// serving loop's wakeups are real timers regardless; inject a
+	// FakeClock only when driving the Former directly.
+	Clock Clock
+}
+
+// Server is the batching BFS query server: admitted queries flow
+// queue → former → session pool, every batch is one bit-parallel
+// MS-BFS traversal, and each rider receives its own distance vector
+// plus its amortized share of the batch's clock.
+type Server struct {
+	cfg     Config
+	classes map[string]Class
+	clock   Clock
+	q       *Queue
+	former  *Former
+	pool    *pbfs.SessionPool
+	metrics *Metrics
+
+	ids      atomic.Uint64
+	batchIDs atomic.Uint64
+	draining atomic.Bool
+
+	arrived  chan struct{}
+	quit     chan struct{}
+	loopDone chan struct{}
+	execWG   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New validates cfg, applies defaults, and starts the serving loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("serve: nil graph")
+	}
+	if cfg.Graph.NumVerts() < 1 {
+		return nil, fmt.Errorf("serve: empty graph")
+	}
+	if cfg.BatchMax < 1 || cfg.BatchMax > pbfs.BatchWidth {
+		cfg.BatchMax = pbfs.BatchWidth
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 4 * cfg.BatchMax
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FCFS{}
+	}
+	if cfg.Sessions < 1 {
+		cfg.Sessions = 1
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = DefaultClasses()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = Wall
+	}
+	s := &Server{
+		cfg:      cfg,
+		classes:  make(map[string]Class, len(cfg.Classes)),
+		clock:    cfg.Clock,
+		q:        NewQueue(cfg.QueueDepth),
+		pool:     pbfs.NewSessionPool(cfg.Sessions),
+		metrics:  NewMetrics(),
+		arrived:  make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	for _, c := range cfg.Classes {
+		s.classes[c.Name] = c
+	}
+	s.former = &Former{
+		Queue: s.q, Policy: cfg.Policy,
+		BatchMax: cfg.BatchMax, MaxWait: cfg.MaxWait,
+	}
+	// Warm every pool session with a one-source batch: configuration
+	// errors (unknown machine, unfactorable grid) surface here instead
+	// of on the first query, and each session pays its one graph
+	// distribution before traffic arrives.
+	for i := 0; i < cfg.Sessions; i++ {
+		sess := s.pool.Get()
+		_, err := sess.BFSBatch(cfg.Graph, []int64{0}, cfg.Options)
+		s.pool.Put(sess)
+		if err != nil {
+			s.pool.Close()
+			return nil, fmt.Errorf("serve: options rejected: %w", err)
+		}
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Submit admits one query and returns the channel its Response will
+// arrive on (exactly one Response per admitted query, even across
+// shutdown). Admission failures return a RejectError immediately.
+func (s *Server) Submit(source int64, class string) (<-chan *Response, error) {
+	cl, ok := s.classes[class]
+	if !ok {
+		s.metrics.RecordReject(class, RejectBadClass)
+		return nil, &RejectError{Reason: RejectBadClass}
+	}
+	if source < 0 || source >= s.cfg.Graph.NumVerts() {
+		s.metrics.RecordReject(class, RejectBadSource)
+		return nil, &RejectError{Reason: RejectBadSource}
+	}
+	if s.draining.Load() {
+		s.metrics.RecordReject(class, RejectDraining)
+		return nil, &RejectError{Reason: RejectDraining}
+	}
+	req := &Request{
+		ID:       s.ids.Add(1),
+		Source:   source,
+		Class:    class,
+		Priority: cl.Priority,
+		Est:      s.cfg.Graph.Degree(source),
+		Enqueued: s.clock.Now(),
+		done:     make(chan *Response, 1),
+	}
+	if err := s.q.Push(req); err != nil {
+		s.metrics.RecordReject(class, RejectQueueFull)
+		return nil, err
+	}
+	// If the server began draining while we were pushing, the loop's
+	// flush may already have passed; the straggler sweep in Shutdown
+	// answers anything still queued, so the request is never dropped.
+	select {
+	case s.arrived <- struct{}{}:
+	default:
+	}
+	return req.done, nil
+}
+
+// Query is Submit plus the wait: it blocks until the query is served,
+// rejected (returned as a RejectError), or ctx is done.
+func (s *Server) Query(ctx context.Context, source int64, class string) (*Response, error) {
+	ch, err := s.Submit(source, class)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Rejected != "" {
+			return nil, &RejectError{Reason: resp.Rejected}
+		}
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		return resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Metrics returns the current per-class metrics snapshot.
+func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot(s.draining.Load()) }
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains gracefully: admission stops (new Submits reject with
+// draining), the pending queue flushes through the former as final
+// batches, in-flight batches finish, and any straggler admitted during
+// the race receives a draining rejection. Every admitted query gets
+// exactly one Response. Shutdown is idempotent and returns when the
+// server is fully stopped.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	s.closeOnce.Do(func() { close(s.quit) })
+	<-s.loopDone
+	s.execWG.Wait()
+	// Straggler sweep: a Submit that passed the draining check before
+	// the store but pushed after the loop's final flush is still
+	// queued; answer it rather than dropping it.
+	for _, req := range s.q.drain() {
+		s.metrics.RecordReject(req.Class, RejectDraining)
+		req.done <- &Response{
+			ID: req.ID, Source: req.Source, Class: req.Class,
+			Rejected: RejectDraining,
+		}
+	}
+	s.pool.Close()
+}
+
+// loop is the serving loop: it forms batches as the rule allows,
+// sleeps until the next deadline or arrival otherwise, and on quit
+// flushes the queue as final batches.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		batch, wait := s.former.Next(s.clock.Now())
+		if batch != nil {
+			s.dispatch(batch)
+			continue
+		}
+		var deadline <-chan time.Time
+		if wait > 0 {
+			timer.Reset(wait)
+			deadline = timer.C
+		}
+		select {
+		case <-s.arrived:
+		case <-deadline:
+			continue
+		case <-s.quit:
+			for _, b := range s.former.Flush(s.clock.Now()) {
+				s.dispatch(b)
+			}
+			return
+		}
+		if wait > 0 && !timer.Stop() {
+			<-timer.C
+		}
+	}
+}
+
+// dispatch runs one batch on a pooled session. The pool bounds
+// concurrency: with K sessions at most K batches execute at once, and
+// the (K+1)-th dispatch blocks in Get inside its goroutine without
+// stalling the forming loop.
+func (s *Server) dispatch(batch []*Request) {
+	s.execWG.Add(1)
+	go func() {
+		defer s.execWG.Done()
+		sess := s.pool.Get()
+		defer s.pool.Put(sess)
+		s.execute(sess, batch)
+	}()
+}
+
+// execute runs the batch's sources as one MS-BFS traversal and
+// completes every rider with its plane of the result.
+func (s *Server) execute(sess *pbfs.Session, batch []*Request) {
+	id := s.batchIDs.Add(1)
+	now := s.clock.Now()
+	sources := make([]int64, len(batch))
+	for i, req := range batch {
+		sources[i] = req.Source
+	}
+	br, err := sess.BFSBatch(s.cfg.Graph, sources, s.cfg.Options)
+	if err != nil {
+		for _, req := range batch {
+			req.done <- &Response{
+				ID: req.ID, Source: req.Source, Class: req.Class, Err: err,
+			}
+		}
+		return
+	}
+	s.metrics.RecordBatch(len(batch))
+	for i, req := range batch {
+		r := br.Results[i]
+		resp := &Response{
+			ID: req.ID, Source: req.Source, Class: req.Class,
+			Dist: r.Dist, Parent: r.Parent,
+			Levels: r.Levels, Reached: reachedCount(r.Dist),
+			Batch: id, Occupancy: len(batch),
+			QueueWait:      now.Sub(req.Enqueued),
+			SimTime:        r.SimTime,
+			TEPS:           r.TEPS(),
+			TraversedEdges: r.TraversedEdges,
+		}
+		s.metrics.Record(resp)
+		req.done <- resp
+	}
+}
+
+// reachedCount counts the vertices the search reached.
+func reachedCount(dist []int64) int64 {
+	var n int64
+	for _, d := range dist {
+		if d != pbfs.Unreached {
+			n++
+		}
+	}
+	return n
+}

@@ -49,6 +49,13 @@ type result struct {
 	// to ~1x, so the gate holds an absolute floor rather than tracking
 	// the baseline's exact ratio.
 	SimAmortization float64 `json:"msbfs_sim_amortization"`
+	// Serving-layer record: the queue → former pipeline batching a
+	// deterministic bursty query stream through the same warm session.
+	// serve_speedup is single-search sim time / amortized per-query sim
+	// time; serve_batch_occupancy is the mean batch width the stream
+	// achieved. Both are simulated-clock metrics, so they gate tightly.
+	ServeSpeedup   float64 `json:"serve_speedup"`
+	ServeOccupancy float64 `json:"serve_batch_occupancy"`
 }
 
 type report struct {
@@ -76,12 +83,22 @@ type tolerances struct {
 	// itself clears the floor, so baselines predating the batch record
 	// don't wedge CI.
 	amortFloor float64
+	// serveFloor / serveOccFloor gate the serving layer: at a mean
+	// batch occupancy of 16+ the amortized per-query simulated time
+	// must beat a single warm-session search (speedup > 1), otherwise
+	// the queue → former pipeline stopped batching (e.g. every query
+	// dispatched alone). Like amortFloor, each is only enforced when
+	// the baseline itself clears it, so baselines predating the serving
+	// record don't wedge CI.
+	serveFloor    float64
+	serveOccFloor float64
 }
 
 func defaultTolerances() tolerances {
 	return tolerances{
 		allocGrow: 0.25, allocSlack: 16, speedupDrop: 0.6, speedupFloor: 2,
 		overlapFloor: 0.999999, hybridGrow: 0.5, amortFloor: 2,
+		serveFloor: 1, serveOccFloor: 16,
 	}
 }
 
@@ -123,6 +140,14 @@ func compare(base, cand *report, tol tolerances) []string {
 		if b.SimAmortization >= tol.amortFloor && c.SimAmortization < tol.amortFloor {
 			bad = append(bad, fmt.Sprintf("%s: msbfs_sim_amortization %.1fx below the %.1fx floor (baseline %.1fx) — batched kernels stopped amortizing",
 				b.Config, c.SimAmortization, tol.amortFloor, b.SimAmortization))
+		}
+		if b.ServeSpeedup > tol.serveFloor && c.ServeSpeedup <= tol.serveFloor {
+			bad = append(bad, fmt.Sprintf("%s: serve_speedup %.2fx at or below the %.0fx floor (baseline %.1fx) — amortized serving no longer beats single searches",
+				b.Config, c.ServeSpeedup, tol.serveFloor, b.ServeSpeedup))
+		}
+		if b.ServeOccupancy >= tol.serveOccFloor && c.ServeOccupancy < tol.serveOccFloor {
+			bad = append(bad, fmt.Sprintf("%s: serve_batch_occupancy %.1f below the %.0f floor (baseline %.1f) — batch former stopped filling batches",
+				b.Config, c.ServeOccupancy, tol.serveOccFloor, b.ServeOccupancy))
 		}
 	}
 	if base.HybridOverhead1D > 0 && cand.HybridOverhead1D > base.HybridOverhead1D*(1+tol.hybridGrow) {

@@ -205,3 +205,53 @@ func TestCompareBatchAmortizationGate(t *testing.T) {
 		t.Fatalf("sub-floor baseline enforced the floor: %v", bad)
 	}
 }
+
+// TestCompareServeGates covers the PR 7 additions: the serving layer's
+// amortized speedup must stay above 1x (batched queries beating single
+// searches) and its mean batch occupancy above 16, each enforced only
+// when the committed baseline cleared the same floor — a pre-serving
+// baseline (fields absent, unmarshaling to 0) never wedges CI.
+func TestCompareServeGates(t *testing.T) {
+	tol := defaultTolerances()
+	base := &report{Scale: 16, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188,
+			ServeSpeedup: 17.2, ServeOccupancy: 48.0},
+	}}
+
+	healthy := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188,
+			ServeSpeedup: 9.5, ServeOccupancy: 24.0}, // moved, still well above both floors
+	}}
+	if bad := compare(base, healthy, tol); len(bad) != 0 {
+		t.Fatalf("above-floor serving candidate flagged: %v", bad)
+	}
+
+	noSpeedup := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188,
+			ServeSpeedup: 0.9, ServeOccupancy: 48.0}, // batching now slower than single searches
+	}}
+	bad := compare(base, noSpeedup, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "serve_speedup") {
+		t.Fatalf("collapsed serve speedup not flagged: %v", bad)
+	}
+
+	emptyBatches := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188,
+			ServeSpeedup: 17.2, ServeOccupancy: 1.2}, // every query dispatched nearly alone
+	}}
+	bad = compare(base, emptyBatches, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "serve_batch_occupancy") {
+		t.Fatalf("collapsed serve occupancy not flagged: %v", bad)
+	}
+
+	preServeBase := &report{Scale: 16, Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188},
+	}}
+	broken := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188,
+			ServeSpeedup: 0.5, ServeOccupancy: 1},
+	}}
+	if bad := compare(preServeBase, broken, tol); len(bad) != 0 {
+		t.Fatalf("pre-serving baseline enforced the serve floors: %v", bad)
+	}
+}

@@ -81,6 +81,15 @@ go test -race -run 'Mask|Batch' ./internal/spmat ./internal/spvec ./internal/bit
 go test -race -run 'RunBatch' ./internal/bfs1d ./internal/bfs2d
 go test -race -run 'BFSBatch' .
 
+echo "== race smoke (batching query server) =="
+# The serving layer is the most goroutine-dense surface in the tree:
+# HTTP handlers push into the queue while the dispatch loop forms
+# batches and a session pool executes them, and Shutdown drains all
+# three at once. The full package runs under -race (it is fast), which
+# covers the shutdown-under-load test asserting no admitted request is
+# dropped without a response.
+go test -race ./internal/serve
+
 echo "== bench smoke (BFS level loops, 1 iteration) =="
 go test -run '^$' -bench=BFS -benchtime=1x -benchmem .
 

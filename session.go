@@ -91,6 +91,56 @@ func (s *Session) engineLocked(lay layout, g *Graph) (engine, error) {
 	return eng, nil
 }
 
+// SessionPool is a fixed-size pool of sessions for callers that keep
+// several batches in flight at once. One Session serializes its
+// searches (each engine's arena serves one run at a time), so a server
+// wanting K concurrent batches checks out K sessions; Get blocks until
+// one is free, which is the pool's concurrency limit. Every member
+// session caches its own engine per resolved configuration — a pool of
+// K serving one layout pays K distributions in total, each amortized
+// over all the traffic that member carries.
+type SessionPool struct {
+	ch   chan *Session
+	once sync.Once
+}
+
+// NewSessionPool returns a pool of size warm-free sessions (sizes below
+// 1 are raised to 1); engines are built on demand by the first batch
+// each member runs.
+func NewSessionPool(size int) *SessionPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &SessionPool{ch: make(chan *Session, size)}
+	for i := 0; i < size; i++ {
+		p.ch <- NewSession()
+	}
+	return p
+}
+
+// Size returns the pool's capacity: the maximum number of concurrently
+// checked-out sessions.
+func (p *SessionPool) Size() int { return cap(p.ch) }
+
+// Get checks a session out, blocking until one is free. Every Get must
+// be paired with a Put.
+func (p *SessionPool) Get() *Session { return <-p.ch }
+
+// Put returns a checked-out session to the pool, keeping its cached
+// engines warm for the next borrower.
+func (p *SessionPool) Put(s *Session) { p.ch <- s }
+
+// Close releases every member session. All checked-out sessions must
+// have been returned first (the pool blocks until they are); Close is
+// idempotent.
+func (p *SessionPool) Close() {
+	p.once.Do(func() {
+		for i := 0; i < cap(p.ch); i++ {
+			(<-p.ch).Close()
+		}
+	})
+}
+
 // Close releases every cached engine (worker-pool goroutines, arenas).
 // The session cannot be reused; Search after Close returns an error.
 func (s *Session) Close() {

@@ -2,6 +2,7 @@ package pbfs
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -227,5 +228,64 @@ func TestSessionDirectedGraphs(t *testing.T) {
 		if err := g.Validate(reused); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestSessionPool checks the serving layer's session checkout surface:
+// Get/Put round-robins distinct warm sessions, concurrent checkouts
+// never hand the same session to two holders at once, and Close drains
+// and closes every pooled session exactly once (idempotently).
+func TestSessionPool(t *testing.T) {
+	g := testGraph(t)
+	src := g.Sources(1, 7)[0]
+	opt := Options{Algorithm: OneDFlat, Ranks: 4}
+
+	pool := NewSessionPool(3)
+	if pool.Size() != 3 {
+		t.Fatalf("pool size %d, want 3", pool.Size())
+	}
+	// Checking out all three yields three distinct sessions, each usable.
+	a, b, c := pool.Get(), pool.Get(), pool.Get()
+	if a == b || b == c || a == c {
+		t.Fatal("pool handed out duplicate sessions")
+	}
+	for _, s := range []*Session{a, b, c} {
+		if _, err := s.Search(g, src, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Put(a)
+	pool.Put(b)
+	pool.Put(c)
+
+	// Hammer Get/Search/Put from more goroutines than sessions: the
+	// race detector (scripts/ci.sh smoke) would flag any double
+	// checkout, since Session.Search is not safe for concurrent use.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				s := pool.Get()
+				if _, err := s.Search(g, src, opt); err != nil {
+					t.Error(err)
+				}
+				pool.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+
+	pool.Close()
+	pool.Close() // idempotent
+	// The members drained by Close are themselves closed: the reference
+	// we still hold must refuse further searches.
+	if _, err := a.Search(g, src, opt); err == nil {
+		t.Error("search on a closed pooled session accepted")
+	}
+
+	if NewSessionPool(0).Size() != 1 {
+		t.Error("non-positive pool size should clamp to 1")
 	}
 }
