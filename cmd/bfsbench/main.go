@@ -15,8 +15,12 @@
 // the four BFS level loops (ns/op, allocs/op via testing.Benchmark)
 // under the default direction-optimizing policy, records the
 // auto-vs-top-down scanned-edge comparison (total and restricted to the
-// bottom-up middle levels), and writes the machine-readable BENCH
-// trajectory file:
+// bottom-up middle levels), stamps the host context (runtime.NumCPU,
+// GOMAXPROCS, Go version, timestamp — wall-clock columns are only
+// comparable within a host class), probes the collective engine's
+// parallel efficiency (GOMAXPROCS=1 vs all-cores level-loop ratio, at
+// the report scale and at scale 18), and writes the machine-readable
+// BENCH trajectory file:
 //
 //	bfsbench -bench-out BENCH_bfs.json -bench-scale 16
 //

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	pbfs "repro"
+)
+
+// parallelSearches is how many warm-session searches one timing sample
+// averages over, and parallelReps how many samples the probe takes the
+// minimum of: single searches are tens of milliseconds, so a lone
+// sample is at the mercy of GC assist and scheduler noise.
+const (
+	parallelSearches = 4
+	parallelReps     = 3
+)
+
+// HostInfo records the machine a BENCH report was generated on. The
+// simulated figures are host-independent, but the wall-clock columns —
+// ns/op, batch timings, parallel efficiency — are not, so cross-host
+// trajectory comparisons need this context (scripts/benchcmp warns when
+// core counts differ between baseline and candidate).
+type HostInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// CaptureHost snapshots the current process's host context.
+func CaptureHost() HostInfo {
+	return HostInfo{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// ParallelProbe measures how the emulation's host wall clock scales
+// with cores: the same warm-session level loop timed at GOMAXPROCS=1
+// and GOMAXPROCS=NumCPU. ParallelEfficiency is the serial/parallel
+// ratio — above 1 means the rank goroutines really run concurrently
+// through the collective rendezvous; a reintroduced serialization point
+// (a merge under the group lock, a condvar thundering herd) drags it
+// back toward 1, which scripts/benchcmp floors on multicore hosts. On a
+// single-core host both measurements run the same schedule and the
+// ratio sits at ~1 by construction.
+//
+// The probe also records the configuration's simulated figures, so the
+// scale-18 instance doubles as the "big scale runs to completion"
+// record in the BENCH trajectory.
+type ParallelProbe struct {
+	Scale              int     `json:"scale"`
+	EdgeFactor         int     `json:"edge_factor"`
+	Config             string  `json:"config"`
+	Ranks              int     `json:"ranks"`
+	Threads            int     `json:"threads"`
+	Searches           int     `json:"searches"`
+	NsSerial           float64 `json:"level_loop_ns_gomaxprocs_1"`
+	NsParallel         float64 `json:"level_loop_ns_gomaxprocs_all"`
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
+	SimSeconds         float64 `json:"sim_seconds"`
+	SimTEPS            float64 `json:"sim_teps"`
+}
+
+// MeasureParallel runs the parallel-efficiency probe on one R-MAT
+// instance: 16 emulated ranks of the 2D flat algorithm (pure
+// rank-level parallelism, no intra-rank worker pools, so the ratio
+// isolates the collective engine) searched through one warm session,
+// timed per search at GOMAXPROCS=1 and GOMAXPROCS=NumCPU.
+func MeasureParallel(scale, ef int, seed uint64) (*ParallelProbe, error) {
+	g, err := pbfs.NewRMATGraph(scale, ef, seed)
+	if err != nil {
+		return nil, err
+	}
+	srcs := g.Sources(parallelSearches, seed+3)
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("bench: no usable parallel-probe source at scale %d", scale)
+	}
+	const ranks = 16
+	opt := pbfs.Options{
+		Algorithm: pbfs.TwoDFlat, Ranks: ranks, Threads: 1,
+		Machine: "franklin",
+	}
+	probe := &ParallelProbe{
+		Scale: scale, EdgeFactor: ef, Config: "2d-flat",
+		Ranks: ranks, Threads: 1, Searches: len(srcs),
+	}
+	sess := pbfs.NewSession()
+	defer sess.Close()
+	// Cold search builds the engine; its result carries the simulated
+	// record (sim figures are identical for every later search of the
+	// same source and host-independent either way). Then one untimed
+	// pass over every probe source, so neither timed sample pays
+	// first-visit costs the other side skipped — the ratio must compare
+	// identical work.
+	warm, err := sess.Search(g, srcs[0], opt)
+	if err != nil {
+		return nil, err
+	}
+	probe.SimSeconds = warm.SimTime
+	probe.SimTEPS = warm.TEPS()
+	for _, s := range srcs {
+		if _, err := sess.Search(g, s, opt); err != nil {
+			return nil, err
+		}
+	}
+
+	sample := func(procs int) (float64, error) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		start := time.Now()
+		for _, s := range srcs {
+			if _, err := sess.Search(g, s, opt); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(len(srcs)), nil
+	}
+	// Interleave the two sides rep by rep and keep each side's minimum:
+	// slow drift across the probe (GC growth, a noisy host) then biases
+	// neither side of the ratio.
+	probe.NsSerial, probe.NsParallel = math.Inf(1), math.Inf(1)
+	for rep := 0; rep < parallelReps; rep++ {
+		s, err := sample(1)
+		if err != nil {
+			return nil, err
+		}
+		p, err := sample(runtime.NumCPU())
+		if err != nil {
+			return nil, err
+		}
+		probe.NsSerial = math.Min(probe.NsSerial, s)
+		probe.NsParallel = math.Min(probe.NsParallel, p)
+	}
+	if probe.NsParallel > 0 {
+		probe.ParallelEfficiency = probe.NsSerial / probe.NsParallel
+	}
+	return probe, nil
+}

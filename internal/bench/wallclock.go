@@ -109,12 +109,25 @@ type WallResult struct {
 	ServeSpeedup     float64 `json:"serve_speedup"`
 }
 
+// parallelProbeScale is the big-instance probe the trajectory tracks:
+// the parallel collective engine is what makes scale-18 runs tractable,
+// so the report carries a scale-18 record alongside the report-scale
+// one.
+const parallelProbeScale = 18
+
 // WallReport is the machine-readable payload of BENCH_bfs.json.
 type WallReport struct {
 	Scale      int          `json:"scale"`
 	EdgeFactor int          `json:"edge_factor"`
 	Seed       uint64       `json:"seed"`
+	Host       HostInfo     `json:"host"`
 	Results    []WallResult `json:"results"`
+	// Parallel probes the host-parallelism of the collective engine at
+	// the report's scale; Scale18 repeats it at scale 18, the "big
+	// instance runs to completion" record (omitted only when the report
+	// itself is at scale 18 already).
+	Parallel *ParallelProbe `json:"parallel,omitempty"`
+	Scale18  *ParallelProbe `json:"scale18,omitempty"`
 	// HybridOverhead1D tracks the PR 1 regression note: the wall-clock
 	// ratio of the 1D hybrid to the 1D flat steady-state search on this
 	// host. On a single-core host the hybrid's worker goroutines are
@@ -142,7 +155,7 @@ func WallClock(scale, ef int, seed uint64, overlapChunks int) (*WallReport, erro
 	}
 	src := srcs[0]
 	const ranks = 16
-	report := &WallReport{Scale: scale, EdgeFactor: ef, Seed: seed}
+	report := &WallReport{Scale: scale, EdgeFactor: ef, Seed: seed, Host: CaptureHost()}
 
 	for _, cfg := range []struct {
 		name    string
@@ -345,6 +358,20 @@ func WallClock(scale, ef int, seed uint64, overlapChunks int) (*WallReport, erro
 	if flat1d > 0 {
 		report.HybridOverhead1D = hybrid1d / flat1d
 	}
+	// Host-parallelism probes: one at the report's scale (the
+	// parallel_efficiency the benchcmp gate floors on multicore hosts)
+	// and one at scale 18, the big instance the parallel collective
+	// engine unlocks.
+	if report.Parallel, err = MeasureParallel(scale, ef, seed); err != nil {
+		return nil, err
+	}
+	if scale != parallelProbeScale {
+		if report.Scale18, err = MeasureParallel(parallelProbeScale, ef, seed); err != nil {
+			return nil, err
+		}
+	} else {
+		report.Scale18 = report.Parallel
+	}
 	return report, nil
 }
 
@@ -365,6 +392,8 @@ func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\n=== Wall-clock BFS searches (scale %d, ef %d) -> %s ===\n",
 		rep.Scale, rep.EdgeFactor, path)
+	fmt.Fprintf(w, "host: %d cpus, GOMAXPROCS %d, %s, %s\n",
+		rep.Host.NumCPU, rep.Host.GOMAXPROCS, rep.Host.GoVersion, rep.Host.Timestamp)
 	fmt.Fprintf(w, "%-10s %6s %3s %14s %14s %12s %12s %12s %10s %10s\n",
 		"config", "ranks", "t", "ns/op", "allocs/op", "sim-s", "sim-TEPS",
 		"sim-overlap", "ov-speedup", "mid-reduc")
@@ -397,6 +426,19 @@ func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
 		fmt.Fprintf(w, "%-10s %8d %8d %10.1f %16.0f %13.1fx\n",
 			r.Config, r.ServeQueries, r.ServeBatches, r.ServeOccupancy,
 			r.ServeAmortizedNs, r.ServeSpeedup)
+	}
+	if rep.Parallel != nil {
+		fmt.Fprintf(w, "\n%-10s %6s %6s %18s %18s %12s %12s %12s\n",
+			"probe", "scale", "ranks", "ns/srch@procs=1", "ns/srch@procs=N",
+			"par-eff", "sim-s", "sim-TEPS")
+		for _, p := range []*ParallelProbe{rep.Parallel, rep.Scale18} {
+			if p == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%-10s %6d %6d %18.0f %18.0f %11.2fx %12.3g %12.4g\n",
+				p.Config, p.Scale, p.Ranks, p.NsSerial, p.NsParallel,
+				p.ParallelEfficiency, p.SimSeconds, p.SimTEPS)
+		}
 	}
 	return nil
 }

@@ -11,7 +11,10 @@
 // stragglers is therefore accounted as communication time, exactly like
 // MPI wait time in the paper's measurements (Figure 4 normalizes it that
 // way). The result is a deterministic, machine-independent reproduction
-// of the paper's timing methodology that runs on a single core.
+// of the paper's timing methodology whose *host* execution scales with
+// the machine's cores: rank goroutines rendezvous through lock-free
+// arrival gates and assemble their collective results in parallel (see
+// Group), while the simulated figures stay bit-identical on any host.
 package cluster
 
 import (
@@ -89,6 +92,7 @@ func (w *World) Reset() {
 		for tag := range r.commTime {
 			delete(r.commTime, tag)
 		}
+		r.tagOrder = r.tagOrder[:0]
 	}
 	// Groups carry timing state of their own since nonblocking
 	// collectives landed: the channel-busy horizon and the post-order
@@ -143,8 +147,22 @@ type Rank struct {
 	clock     float64
 	compTime  float64
 	commTime  map[string]float64
+	tagOrder  []string // commTime keys, maintained sorted at insert
 	sentWords int64
 	recvWords int64
+}
+
+// bookComm charges dt seconds of communication to tag, keeping the tag
+// list sorted as tags first appear so total queries fold in a
+// deterministic order without re-sorting per call.
+func (r *Rank) bookComm(tag string, dt float64) {
+	if _, ok := r.commTime[tag]; !ok {
+		i := sort.SearchStrings(r.tagOrder, tag)
+		r.tagOrder = append(r.tagOrder, "")
+		copy(r.tagOrder[i+1:], r.tagOrder[i:])
+		r.tagOrder[i] = tag
+	}
+	r.commTime[tag] += dt
 }
 
 // ID returns the world rank id.
@@ -174,18 +192,15 @@ func (r *Rank) CompTime() float64 { return r.compTime }
 // CommTime returns accumulated communication seconds for the tag, or the
 // total over all tags when tag is empty. The total is summed in sorted
 // tag order: map iteration order would wobble the last ulp between runs,
-// and the simulated profile is supposed to be bit-deterministic.
+// and the simulated profile is supposed to be bit-deterministic. The
+// sorted order is maintained as tags are first booked (see bookComm), so
+// the query itself is a straight fold with no per-call sort.
 func (r *Rank) CommTime(tag string) float64 {
 	if tag != "" {
 		return r.commTime[tag]
 	}
-	tags := make([]string, 0, len(r.commTime))
-	for tag := range r.commTime {
-		tags = append(tags, tag)
-	}
-	sort.Strings(tags)
 	var t float64
-	for _, tag := range tags {
+	for _, tag := range r.tagOrder {
 		t += r.commTime[tag]
 	}
 	return t

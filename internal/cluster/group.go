@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // payload is the typed union moved through the collective rendezvous. A
@@ -17,6 +18,21 @@ type payload struct {
 	f    float64
 }
 
+// round is one generation of the blocking rendezvous. Rounds are
+// double-buffered (see Group.rounds): while stragglers of round r are
+// still assembling their results from its deposits, the fastest ranks
+// may already be depositing into round r+1's buffer. The closer of
+// round r resets the opposite buffer for round r+1 before releasing the
+// gate, which is safe because every member has finished round r-1 (the
+// buffer's previous user) by the time all of them have arrived at r.
+type round struct {
+	deposit []payload
+	clocks  []float64
+	arrived atomic.Int32 // deposits in; the rank completing the count closes the round
+	merged  atomic.Int32 // sharded pre-assembly done (bitmap collectives only)
+	leave   float64      // clock every participant leaves with; written by the closer
+}
+
 // Group is a communicator: an ordered subset of world ranks that perform
 // collectives together. Groups are created before Run (or collectively
 // inside it, provided every member creates the same groups in the same
@@ -25,30 +41,76 @@ type payload struct {
 // Collective results follow MPI receive-buffer discipline: the slices a
 // member gets back are valid until that member's next collective on the
 // same group, after which the group may recycle them.
+//
+// Concurrency model (the parallel collective engine). A blocking
+// collective is a two-phase rendezvous:
+//
+//  1. Arrival gate: each member writes its deposit and entry clock into
+//     its own slot of the current round and increments the round's
+//     atomic arrival counter. The member whose increment completes the
+//     count — the closer — computes only the cheap scalar metadata
+//     (the modeled cost from deposit volumes, and the common leave
+//     clock max(busy, entry clocks) + cost), resets the opposite round
+//     buffer for the next generation, and releases every peer with one
+//     token on its personal wake channel. No lock is held across the
+//     operation and no condvar broadcast funnels the wakeup through a
+//     single mutex; the only shared lock is a short critical section
+//     ordering the busyUntil read-modify-write against nonblocking
+//     completions.
+//  2. Parallel assembly: each member then assembles its own result
+//     slice outside any lock — its row of the all-to-all, its view of
+//     the allgather — from the round's deposits. The bitmap
+//     collectives add a sharded pre-assembly between the phases: each
+//     member ORs all deposits into its own cache-line-aligned word
+//     shard of the shared accumulator, a second token gate publishes
+//     the merged bitmap, and only then does anyone read it. Every
+//     word of the accumulator is written by exactly one member, so the
+//     O(p * words) OR fold that used to run single-threaded under the
+//     group mutex now scales with host cores.
+//
+// Memory visibility is carried by the atomic arrival counters and the
+// token channels: a member's deposit writes happen before its counter
+// increment, the closer's metadata writes happen before the token
+// sends, and each receive orders the subsequent reads. The simulated
+// figures are bit-identical to the serialized engine's: pricing is a
+// pure function of the deposits, the leave clock uses the same
+// arithmetic, and the OR and fold orders are unchanged or commutative.
 type Group struct {
 	world   *World
 	members []int       // world ids, in group-rank order
 	index   map[int]int // world id -> group rank
 
-	mu      sync.Mutex
-	cv      *sync.Cond
-	gen     uint64
-	arrived int
-	deposit []payload
-	result  []payload
-	clocks  []float64
-	leave   float64 // clock value every participant leaves with
-	// scratch holds one reusable [][]int64 per member for result
-	// assembly (all-to-all receive rows, gather parts), recycled every
-	// round; counts is the reusable volume-counting buffer; orWords is
-	// the reusable accumulator of the bitmap collective.
+	// Blocking rendezvous state. seq[i] counts member i's blocking
+	// collectives on this group (touched only by that member's
+	// goroutine); its parity selects the round buffer. wake[i] is member
+	// i's personal token channel (buffered 1, never closed): the closer
+	// of an arrival gate and the last merger of a shard gate each send
+	// one token to every other member. A member consumes each token
+	// before contributing to the next gate, so a send can never block.
+	seq    []uint64
+	rounds [2]round
+	wake   []chan struct{}
+
+	// scratch holds one reusable [][]int64 result row per member
+	// (all-to-all receive rows, allgather and gather parts), recycled
+	// every round. The outer slice is laid out at NewGroup; each inner
+	// row is allocated and written only by its owning member, so
+	// parallel assembly needs no coordination. counts is the closer's
+	// volume-counting buffer; orWords the shared accumulator of the
+	// bitmap collectives (sized by the closer, written shard-wise by
+	// every member).
 	scratch [][][]int64
 	counts  []int64
 	orWords []uint64
+
 	// poisoned records a panic raised while completing a collective; it
-	// is re-raised on every waiting participant so a failed operation
-	// cannot deadlock the rest of the group.
+	// is surfaced on every waiting participant so a failed operation
+	// cannot deadlock the rest of the group. dead is its lock-free
+	// entry-check mirror; poisonCh (closed once) wakes parked waiters.
+	mu       sync.Mutex
 	poisoned any
+	dead     atomic.Bool
+	poisonCh chan struct{}
 
 	// Nonblocking collective state (see nonblocking.go). Posted
 	// operations are matched across members by post order: the i-th
@@ -75,15 +137,20 @@ func (w *World) NewGroup(members []int) *Group {
 	if len(members) == 0 {
 		panic("cluster: empty group")
 	}
+	n := len(members)
 	g := &Group{
-		world:   w,
-		members: append([]int(nil), members...),
-		index:   make(map[int]int, len(members)),
-		deposit: make([]payload, len(members)),
-		result:  make([]payload, len(members)),
-		clocks:  make([]float64, len(members)),
+		world:    w,
+		members:  append([]int(nil), members...),
+		index:    make(map[int]int, n),
+		seq:      make([]uint64, n),
+		wake:     make([]chan struct{}, n),
+		scratch:  make([][][]int64, n),
+		poisonCh: make(chan struct{}),
 	}
-	g.cv = sync.NewCond(&g.mu)
+	for b := range g.rounds {
+		g.rounds[b].deposit = make([]payload, n)
+		g.rounds[b].clocks = make([]float64, n)
+	}
 	for i, m := range members {
 		if m < 0 || m >= w.P {
 			panic(fmt.Sprintf("cluster: member %d outside world of %d", m, w.P))
@@ -92,6 +159,7 @@ func (w *World) NewGroup(members []int) *Group {
 			panic(fmt.Sprintf("cluster: duplicate member %d", m))
 		}
 		g.index[m] = i
+		g.wake[i] = make(chan struct{}, 1)
 	}
 	w.groups = append(w.groups, g)
 	return g
@@ -111,20 +179,20 @@ func (g *Group) RankIn(r *Rank) int {
 // Member returns the world id of group rank i.
 func (g *Group) Member(i int) int { return g.members[i] }
 
-// scratchRow returns member i's reusable result-assembly row, sized to
-// the group. Callers run under g.mu (inside finish).
-func (g *Group) scratchRow(i int) [][]int64 {
-	if g.scratch == nil {
-		g.scratch = make([][][]int64, len(g.members))
+// scratchRow returns member me's reusable result-assembly row, sized to
+// the group. Only member me's goroutine may call it (owner-only
+// discipline; the row is recycled at that member's next collective).
+func (g *Group) scratchRow(me int) [][]int64 {
+	if g.scratch[me] == nil {
+		g.scratch[me] = make([][]int64, len(g.members))
 	}
-	if g.scratch[i] == nil {
-		g.scratch[i] = make([][]int64, len(g.members))
-	}
-	return g.scratch[i]
+	return g.scratch[me]
 }
 
 // countBufs returns two reusable zeroed int64 buffers of group size.
-// Callers run under g.mu (inside finish).
+// Only one completing rank uses them at a time: the closer of a
+// blocking round, or a nonblocking completer under g.mu — uses that the
+// gate and lock ordering already serialize.
 func (g *Group) countBufs() (a, b []int64) {
 	n := len(g.members)
 	if g.counts == nil {
@@ -136,73 +204,150 @@ func (g *Group) countBufs() (a, b []int64) {
 	return g.counts[:n], g.counts[n:]
 }
 
+// poisonLocked records the first failure, wakes every parked
+// participant (blocking waiters via poisonCh, nonblocking waiters via
+// their operations' conds), and marks the group dead. Callers hold
+// g.mu.
+func (g *Group) poisonLocked(e any) {
+	if g.poisoned != nil {
+		return
+	}
+	g.poisoned = e
+	g.dead.Store(true)
+	close(g.poisonCh)
+	for _, op := range g.pending {
+		op.mu.Lock()
+		op.poisoned = true
+		op.cv.Broadcast()
+		op.mu.Unlock()
+	}
+}
+
+// poison is poisonLocked for callers not holding g.mu.
+func (g *Group) poison(e any) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.poisonLocked(e)
+}
+
+// poisonErr returns the recorded failure.
+func (g *Group) poisonErr() any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.poisoned
+}
+
+// checkPoisoned panics with the recorded failure if the group is dead;
+// the fast path is one atomic load.
+func (g *Group) checkPoisoned() {
+	if g.dead.Load() {
+		panic(g.poisonErr())
+	}
+}
+
+// await parks member me until the current gate's token (or group
+// poison) arrives.
+func (g *Group) await(me int) {
+	select {
+	case <-g.wake[me]:
+	case <-g.poisonCh:
+		panic(g.poisonErr())
+	}
+}
+
+// release sends one wake token to every member but me.
+func (g *Group) release(me int) {
+	for i := range g.wake {
+		if i != me {
+			g.wake[i] <- struct{}{}
+		}
+	}
+}
+
+// closeRound is the closer's half of the arrival gate: price the
+// operation from the deposits, advance the shared channel horizon,
+// stamp the common leave clock, prepare the opposite buffer for the
+// next generation, and release the gate. A panic while pricing
+// (malformed input detected at completion time) poisons the group so
+// the failure surfaces on every participant instead of deadlocking
+// them.
+func (g *Group) closeRound(rd *round, other *round, me int, price func(deposits []payload) float64) {
+	defer func() {
+		if e := recover(); e != nil {
+			g.poison(e)
+			panic(e)
+		}
+	}()
+	cost := price(rd.deposit)
+	// The operation starts when the last participant arrives and the
+	// group's channel is free (an in-flight nonblocking collective
+	// occupies it until it completes). The short critical section only
+	// orders this read-modify-write against nonblocking completions —
+	// the gate itself keeps every peer out.
+	g.mu.Lock()
+	start := g.busyUntil
+	for _, c := range rd.clocks {
+		if c > start {
+			start = c
+		}
+	}
+	rd.leave = start + cost
+	g.busyUntil = rd.leave
+	g.mu.Unlock()
+	// Reset the opposite buffer for the next round. Safe: every member
+	// has arrived here, so every member is done with the buffer's
+	// previous generation; and nobody can enter the next round until
+	// this gate releases. Clearing the deposits also drops the payload
+	// references a round would otherwise retain.
+	other.arrived.Store(0)
+	other.merged.Store(0)
+	clear(other.deposit)
+	g.release(me)
+}
+
 // collective is the SPMD rendezvous shared by all collective operations.
-// Each member deposits its contribution; the last arriver calls finish
-// with all deposits (indexed by group rank) to fill the result slots and
-// return the operation's modeled cost; every member leaves with its
-// result, its clock advanced to max(entry clocks) + cost, and the time
-// spent (including waiting for stragglers) booked to tag.
-func (g *Group) collective(r *Rank, deposit payload, tag string,
-	finish func(deposits, results []payload) (cost float64)) payload {
+// Each member deposits its contribution and passes three phase
+// functions: price (run once, by the closer) maps the deposits to the
+// operation's modeled cost; merge (optional; run by every member
+// between two gates) contributes the member's shard of a shared
+// pre-assembly; assemble (run by every member, in parallel, outside any
+// lock) builds the member's own result from the deposits. Every member
+// leaves with its result, its clock advanced to max(entry clocks) +
+// cost, and the time spent (including waiting for stragglers) booked to
+// tag.
+func (g *Group) collective(r *Rank, dep payload, tag string,
+	price func(deposits []payload) float64,
+	merge func(me int, deposits []payload),
+	assemble func(me int, deposits []payload) payload) payload {
 
 	me := g.RankIn(r)
 	if me < 0 {
 		panic(fmt.Sprintf("cluster: rank %d not in group", r.id))
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.poisoned != nil {
-		panic(g.poisoned)
-	}
-
-	myGen := g.gen
-	g.deposit[me] = deposit
-	g.clocks[me] = r.clock
-	g.arrived++
-	if g.arrived == len(g.members) {
-		// Complete the operation; if finishing panics (malformed input
-		// detected at completion time), poison the group and wake the
-		// waiters so the failure surfaces on every participant instead
-		// of deadlocking them.
-		func() {
-			defer func() {
-				if e := recover(); e != nil {
-					g.poisoned = e
-					g.cv.Broadcast()
-					panic(e)
-				}
-			}()
-			cost := finish(g.deposit, g.result)
-			// The operation starts when the last participant arrives and
-			// the group's channel is free (an in-flight nonblocking
-			// collective occupies it until it completes).
-			start := g.busyUntil
-			for _, c := range g.clocks {
-				if c > start {
-					start = c
-				}
-			}
-			g.leave = start + cost
-			g.busyUntil = g.leave
-		}()
-		for i := range g.deposit {
-			g.deposit[i] = payload{}
-		}
-		g.arrived = 0
-		g.gen++
-		g.cv.Broadcast()
+	g.checkPoisoned()
+	b := g.seq[me] & 1
+	g.seq[me]++
+	rd := &g.rounds[b]
+	entry := r.clock
+	rd.deposit[me] = dep
+	rd.clocks[me] = entry
+	n := len(g.members)
+	if int(rd.arrived.Add(1)) == n {
+		g.closeRound(rd, &g.rounds[1-b], me, price)
 	} else {
-		for g.gen == myGen && g.poisoned == nil {
-			g.cv.Wait()
-		}
-		if g.poisoned != nil {
-			panic(g.poisoned)
+		g.await(me)
+	}
+	if merge != nil {
+		merge(me, rd.deposit)
+		if int(rd.merged.Add(1)) == n {
+			g.release(me)
+		} else {
+			g.await(me)
 		}
 	}
-	out := g.result[me]
-	entry := g.clocks[me]
-	r.commTime[tag] += g.leave - entry
-	r.clock = g.leave
+	out := assemble(me, rd.deposit)
+	r.bookComm(tag, rd.leave-entry)
+	r.clock = rd.leave
 	return out
 }
 
@@ -231,13 +376,12 @@ func alltoallvMaxVolumes(deposits []payload, sendCounts, recvCounts []int64) (ma
 	return maxSend, maxRecv
 }
 
-// orMergeBitsBlocks validates every member's deposited word range and
-// ORs it into acc (length totalWords). Shared by the blocking and
-// nonblocking bitmap exchanges so their validation and merge semantics
-// can never diverge; panics (poisoning the calling collective) on a
-// malformed deposit.
-func orMergeBitsBlocks(deposits []payload, acc []uint64, totalWords int64) {
-	clear(acc)
+// validateBitsBlocks checks every member's deposited word range against
+// the completing member's totalWords. Shared by the blocking and
+// nonblocking bitmap exchanges so their validation semantics can never
+// diverge; panics (poisoning the calling collective) on a malformed
+// deposit.
+func validateBitsBlocks(deposits []payload, totalWords int64) {
 	for i := range deposits {
 		if deposits[i].num2 != totalWords {
 			panic("cluster: AllgatherBitsBlocks totalWords mismatch across members")
@@ -246,20 +390,56 @@ func orMergeBitsBlocks(deposits []payload, acc []uint64, totalWords int64) {
 		if o < 0 || o+int64(len(deposits[i].bm)) > totalWords {
 			panic("cluster: AllgatherBitsBlocks deposit outside the bitmap")
 		}
-		for k, w := range deposits[i].bm {
-			acc[o+int64(k)] |= w
+	}
+}
+
+// orMergeRange clears acc[lo:hi] and ORs into it the part of every
+// member's deposited word range that intersects [lo, hi). The blocking
+// collective runs it once per member shard (in parallel); the
+// nonblocking completer runs it once over the whole range — the same
+// code either way, so the merge semantics cannot diverge. Deposits must
+// already be validated.
+func orMergeRange(deposits []payload, acc []uint64, lo, hi int64) {
+	clear(acc[lo:hi])
+	for i := range deposits {
+		off := deposits[i].num
+		bm := deposits[i].bm
+		from, to := off, off+int64(len(bm))
+		if from < lo {
+			from = lo
+		}
+		if to > hi {
+			to = hi
+		}
+		for k := from; k < to; k++ {
+			acc[k] |= bm[k-off]
 		}
 	}
 }
 
+// bitsShard splits [0, totalWords) into one contiguous chunk per
+// member, rounded to 8-word (64-byte cache line) boundaries so parallel
+// shard merges never false-share.
+func bitsShard(me, p int, totalWords int64) (lo, hi int64) {
+	per := (totalWords + int64(p) - 1) / int64(p)
+	per = (per + 7) &^ 7
+	lo = int64(me) * per
+	hi = lo + per
+	if lo > totalWords {
+		lo = totalWords
+	}
+	if hi > totalWords {
+		hi = totalWords
+	}
+	return lo, hi
+}
+
 // Barrier synchronizes the group.
 func (g *Group) Barrier(r *Rank, tag string) {
-	g.collective(r, payload{}, tag, func(_, results []payload) float64 {
-		for i := range results {
-			results[i] = payload{}
-		}
-		return g.world.Model.Barrier(len(g.members))
-	})
+	g.collective(r, payload{}, tag,
+		func([]payload) float64 { return g.world.Model.Barrier(len(g.members)) },
+		nil,
+		func(int, []payload) payload { return payload{} })
 }
 
 // Alltoallv performs an irregular personalized all-to-all: send[j] goes
@@ -276,22 +456,23 @@ func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
 		sent += int64(len(s))
 	}
 	r.sentWords += sent
-	out := g.collective(r, payload{mat: send}, tag, func(deposits, results []payload) float64 {
-		n := len(g.members)
-		// Per-node cost is dominated by the busiest participant; the
-		// collective completes when the slowest node is done.
-		sendCounts, recvCounts := g.countBufs()
-		maxSend, maxRecv := alltoallvMaxVolumes(deposits, sendCounts, recvCounts)
-		cost := g.world.Model.Alltoallv(n, maxSend, maxRecv)
-		for dst := 0; dst < n; dst++ {
-			recv := g.scratchRow(dst)
-			for src := 0; src < n; src++ {
-				recv[src] = deposits[src].mat[dst]
+	out := g.collective(r, payload{mat: send}, tag,
+		func(deposits []payload) float64 {
+			// Per-node cost is dominated by the busiest participant; the
+			// collective completes when the slowest node is done.
+			sendCounts, recvCounts := g.countBufs()
+			maxSend, maxRecv := alltoallvMaxVolumes(deposits, sendCounts, recvCounts)
+			return g.world.Model.Alltoallv(len(g.members), maxSend, maxRecv)
+		},
+		nil,
+		func(me int, deposits []payload) payload {
+			// Each member assembles its own receive row in parallel.
+			recv := g.scratchRow(me)
+			for src := range deposits {
+				recv[src] = deposits[src].mat[me]
 			}
-			results[dst] = payload{mat: recv}
-		}
-		return cost
-	}).mat
+			return payload{mat: recv}
+		}).mat
 	for _, part := range out {
 		r.recvWords += int64(len(part))
 	}
@@ -302,20 +483,22 @@ func (g *Group) Alltoallv(r *Rank, send [][]int64, tag string) [][]int64 {
 // result holds, at position i, the data contributed by group rank i.
 func (g *Group) Allgatherv(r *Rank, send []int64, tag string) [][]int64 {
 	r.sentWords += int64(len(send))
-	out := g.collective(r, payload{vec: send}, tag, func(deposits, results []payload) float64 {
-		n := len(g.members)
-		parts := g.scratchRow(0)
-		var total int64
-		for i := 0; i < n; i++ {
-			parts[i] = deposits[i].vec
-			total += int64(len(parts[i]))
-		}
-		cost := g.world.Model.Allgatherv(n, total)
-		for i := range results {
-			results[i] = payload{mat: parts}
-		}
-		return cost
-	}).mat
+	out := g.collective(r, payload{vec: send}, tag,
+		func(deposits []payload) float64 {
+			var total int64
+			for i := range deposits {
+				total += int64(len(deposits[i].vec))
+			}
+			return g.world.Model.Allgatherv(len(g.members), total)
+		},
+		nil,
+		func(me int, deposits []payload) payload {
+			parts := g.scratchRow(me)
+			for i := range deposits {
+				parts[i] = deposits[i].vec
+			}
+			return payload{mat: parts}
+		}).mat
 	for i, part := range out {
 		if g.members[i] != r.id {
 			r.recvWords += int64(len(part))
@@ -345,22 +528,32 @@ func (g *Group) Allgatherv(r *Rank, send []int64, tag string) [][]int64 {
 // n/pc) words per rank instead of the n/64-word world bitmap. The
 // returned slice follows receive-buffer discipline: valid only until
 // the member's next collective on this group, and must not be mutated.
+//
+// The OR fold itself runs as the rendezvous's sharded merge phase:
+// each member ORs all deposits into its own cache-line-aligned word
+// shard of the shared accumulator, so the O(p * totalWords) fold
+// parallelizes across the member goroutines instead of running
+// single-threaded on the last arriver.
 func (g *Group) AllgatherBitsBlocks(r *Rank, words []uint64, off, totalWords int64, tag string) []uint64 {
 	// Malformed deposits are detected at completion time, where the
 	// resulting panic poisons the group and surfaces on every
 	// participant instead of stranding them.
 	r.sentWords += int64(len(words))
-	out := g.collective(r, payload{bm: words, num: off, num2: totalWords}, tag, func(deposits, results []payload) float64 {
-		if int64(cap(g.orWords)) < totalWords {
-			g.orWords = make([]uint64, totalWords)
-		}
-		acc := g.orWords[:totalWords]
-		orMergeBitsBlocks(deposits, acc, totalWords)
-		for i := range results {
-			results[i] = payload{bm: acc}
-		}
-		return g.world.Model.Allgatherv(len(g.members), totalWords)
-	}).bm
+	out := g.collective(r, payload{bm: words, num: off, num2: totalWords}, tag,
+		func(deposits []payload) float64 {
+			validateBitsBlocks(deposits, totalWords)
+			if int64(cap(g.orWords)) < totalWords {
+				g.orWords = make([]uint64, totalWords)
+			}
+			return g.world.Model.Allgatherv(len(g.members), totalWords)
+		},
+		func(me int, deposits []payload) {
+			lo, hi := bitsShard(me, len(g.members), totalWords)
+			orMergeRange(deposits, g.orWords[:totalWords], lo, hi)
+		},
+		func(int, []payload) payload {
+			return payload{bm: g.orWords[:totalWords]}
+		}).bm
 	if recv := totalWords - int64(len(words)); recv > 0 {
 		r.recvWords += recv
 	}
@@ -369,16 +562,16 @@ func (g *Group) AllgatherBitsBlocks(r *Rank, words []uint64, off, totalWords int
 
 // AllreduceSum returns the sum of every member's value.
 func (g *Group) AllreduceSum(r *Rank, v int64, tag string) int64 {
-	return g.collective(r, payload{num: v}, tag, func(deposits, results []payload) float64 {
-		var sum int64
-		for i := range deposits {
-			sum += deposits[i].num
-		}
-		for i := range results {
-			results[i] = payload{num: sum}
-		}
-		return g.world.Model.Allreduce(len(g.members), 1)
-	}).num
+	return g.collective(r, payload{num: v}, tag,
+		func([]payload) float64 { return g.world.Model.Allreduce(len(g.members), 1) },
+		nil,
+		func(_ int, deposits []payload) payload {
+			var sum int64
+			for i := range deposits {
+				sum += deposits[i].num
+			}
+			return payload{num: sum}
+		}).num
 }
 
 // AllreduceOr returns the bitwise OR of every member's 64-bit mask: the
@@ -386,32 +579,32 @@ func (g *Group) AllreduceSum(r *Rank, v int64, tag string) int64 {
 // something this level" (one bit per search in the batch). Priced like
 // the other single-word allreduces.
 func (g *Group) AllreduceOr(r *Rank, v uint64, tag string) uint64 {
-	return uint64(g.collective(r, payload{num: int64(v)}, tag, func(deposits, results []payload) float64 {
-		var or int64
-		for i := range deposits {
-			or |= deposits[i].num
-		}
-		for i := range results {
-			results[i] = payload{num: or}
-		}
-		return g.world.Model.Allreduce(len(g.members), 1)
-	}).num)
+	return uint64(g.collective(r, payload{num: int64(v)}, tag,
+		func([]payload) float64 { return g.world.Model.Allreduce(len(g.members), 1) },
+		nil,
+		func(_ int, deposits []payload) payload {
+			var or int64
+			for i := range deposits {
+				or |= deposits[i].num
+			}
+			return payload{num: or}
+		}).num)
 }
 
 // AllreduceMax returns the max of every member's value.
 func (g *Group) AllreduceMax(r *Rank, v float64, tag string) float64 {
-	return g.collective(r, payload{f: v}, tag, func(deposits, results []payload) float64 {
-		mx := deposits[0].f
-		for i := range deposits[1:] {
-			if f := deposits[1+i].f; f > mx {
-				mx = f
+	return g.collective(r, payload{f: v}, tag,
+		func([]payload) float64 { return g.world.Model.Allreduce(len(g.members), 1) },
+		nil,
+		func(_ int, deposits []payload) payload {
+			mx := deposits[0].f
+			for i := range deposits[1:] {
+				if f := deposits[1+i].f; f > mx {
+					mx = f
+				}
 			}
-		}
-		for i := range results {
-			results[i] = payload{f: mx}
-		}
-		return g.world.Model.Allreduce(len(g.members), 1)
-	}).f
+			return payload{f: mx}
+		}).f
 }
 
 // Bcast distributes root's data (by group rank) to all members.
@@ -419,13 +612,14 @@ func (g *Group) Bcast(r *Rank, root int, data []int64, tag string) []int64 {
 	if g.RankIn(r) == root {
 		r.sentWords += int64(len(data)) * int64(len(g.members)-1)
 	}
-	out := g.collective(r, payload{vec: data}, tag, func(deposits, results []payload) float64 {
-		pl := deposits[root].vec
-		for i := range results {
-			results[i] = payload{vec: pl}
-		}
-		return g.world.Model.Bcast(len(g.members), int64(len(pl)))
-	}).vec
+	out := g.collective(r, payload{vec: data}, tag,
+		func(deposits []payload) float64 {
+			return g.world.Model.Bcast(len(g.members), int64(len(deposits[root].vec)))
+		},
+		nil,
+		func(_ int, deposits []payload) payload {
+			return payload{vec: deposits[root].vec}
+		}).vec
 	if g.RankIn(r) != root {
 		r.recvWords += int64(len(out))
 	}
@@ -437,20 +631,25 @@ func (g *Group) Bcast(r *Rank, root int, data []int64, tag string) []int64 {
 // indexed by group rank.
 func (g *Group) Gatherv(r *Rank, root int, send []int64, tag string) [][]int64 {
 	r.sentWords += int64(len(send))
-	parts := g.collective(r, payload{vec: send}, tag, func(deposits, results []payload) float64 {
-		n := len(g.members)
-		parts := g.scratchRow(0)
-		var total int64
-		for i := 0; i < n; i++ {
-			parts[i] = deposits[i].vec
-			total += int64(len(parts[i]))
-		}
-		for i := range results {
-			results[i] = payload{}
-		}
-		results[root] = payload{mat: parts}
-		return g.world.Model.Gatherv(n, total)
-	}).mat
+	parts := g.collective(r, payload{vec: send}, tag,
+		func(deposits []payload) float64 {
+			var total int64
+			for i := range deposits {
+				total += int64(len(deposits[i].vec))
+			}
+			return g.world.Model.Gatherv(len(g.members), total)
+		},
+		nil,
+		func(me int, deposits []payload) payload {
+			if me != root {
+				return payload{}
+			}
+			parts := g.scratchRow(me)
+			for i := range deposits {
+				parts[i] = deposits[i].vec
+			}
+			return payload{mat: parts}
+		}).mat
 	if parts == nil {
 		return nil
 	}
@@ -476,21 +675,24 @@ func (g *Group) SendRecvAll(r *Rank, peerOf func(groupRank int) int, send []int6
 	if peer != me {
 		r.sentWords += int64(len(send))
 	}
-	out := g.collective(r, payload{vec: send}, tag, func(deposits, results []payload) float64 {
-		n := len(g.members)
-		var maxWords int64
-		for i := 0; i < n; i++ {
-			p := peerOf(i)
-			if peerOf(p) != i {
-				panic("cluster: SendRecvAll permutation is not an involution")
+	out := g.collective(r, payload{vec: send}, tag,
+		func(deposits []payload) float64 {
+			var maxWords int64
+			for i := range deposits {
+				p := peerOf(i)
+				if peerOf(p) != i {
+					panic("cluster: SendRecvAll permutation is not an involution")
+				}
+				if w := int64(len(deposits[p].vec)); w > maxWords && p != i {
+					maxWords = w
+				}
 			}
-			results[i] = payload{vec: deposits[p].vec}
-			if w := int64(len(deposits[p].vec)); w > maxWords && p != i {
-				maxWords = w
-			}
-		}
-		return g.world.Model.PointToPoint(maxWords)
-	}).vec
+			return g.world.Model.PointToPoint(maxWords)
+		},
+		nil,
+		func(me int, deposits []payload) payload {
+			return payload{vec: deposits[peerOf(me)].vec}
+		}).vec
 	if peer != me {
 		r.recvWords += int64(len(out))
 	}

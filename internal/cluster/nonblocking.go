@@ -1,6 +1,9 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Nonblocking collectives: the post/wait halves of the overlapped
 // communication the paper evaluates in Section 6 ("overlapping
@@ -28,6 +31,18 @@ import "fmt"
 // posts at t, computes C, and waits, the chunk costs max(C, cost) — the
 // max(compute, comm) pricing of overlapped exchanges — while a blocking
 // call would pay C + cost.
+//
+// Concurrency model. The group mutex covers only the sequence-matching
+// bookkeeping and the scalar completion metadata (validation, pricing,
+// the busyUntil read-modify-write) — never data movement. The last
+// poster performs the one genuinely shared merge (the bitmap OR fold)
+// outside the group lock; every other member is off computing its
+// overlap region while that happens, which is the scenario the
+// operation models. Completion is signaled on the operation's own
+// condition variable, so waiters of one chunk never thunder through a
+// lock shared with unrelated chunks, and each waiter then assembles its
+// own result row in parallel outside any lock, exactly like the
+// blocking rendezvous's assembly phase.
 
 // opKind identifies the collective a pending operation performs, so
 // mismatched program orders across members fail loudly instead of
@@ -55,24 +70,43 @@ func (k opKind) String() string {
 // pendingOp is one in-flight nonblocking collective. It owns its result
 // assembly scratch (unlike blocking collectives, which recycle the
 // group's shared rows every round) because several operations can be
-// outstanding at once; records are recycled through the group freelist
-// once every member has waited. Result buffers handed to waiters remain
-// valid until the waiter's next collective on the group: reuse requires
-// a later post by every member, which is itself such a collective.
+// outstanding at once; records — including their mutex/cond pair — are
+// recycled through the group freelist once every member has waited, so
+// steady-state chunked exchanges allocate nothing. Result buffers
+// handed to waiters remain valid until the waiter's next collective on
+// the group: reuse requires a later post by every member, which is
+// itself such a collective.
 type pendingOp struct {
 	kind     opKind
 	followOn bool
 	seq      uint64
 	deposit  []payload
 	clocks   []float64
-	result   []payload
-	scratch  [][][]int64 // per-member result rows (alltoallv) / shared parts row
+	scratch  [][][]int64 // per-member result rows, each written only by its owner
 	orWords  []uint64    // bitmap accumulator (IAllgatherBitsBlocks)
 	posted   int
 	waited   int
-	done     bool
 	start    float64
 	cost     float64
+
+	// Completion signal, owned by this operation so waiters park and
+	// wake per chunk instead of contending on the group mutex. done
+	// flips under mu when the last poster finishes; poisoned mirrors a
+	// group failure into every parked waiter.
+	mu       sync.Mutex
+	cv       *sync.Cond
+	done     bool
+	poisoned bool
+}
+
+// row returns member me's operation-owned result row, sized to the
+// group. Owner-only discipline: me's goroutine writes it during
+// assembly, outside any lock.
+func (op *pendingOp) row(me, n int) [][]int64 {
+	if len(op.scratch[me]) != n {
+		op.scratch[me] = make([][]int64, n)
+	}
+	return op.scratch[me]
 }
 
 // Request is a handle to a posted nonblocking collective, bound to the
@@ -90,35 +124,27 @@ type Request struct {
 }
 
 // takeOp returns a recycled (or new) operation record sized to the
-// group. Callers hold g.mu.
+// group. Callers hold g.mu; a recycled record has no remaining
+// referents (every member waited it), so resetting its flags outside
+// op.mu is ordered against future waiters through g.mu itself.
 func (g *Group) takeOp() *pendingOp {
 	n := len(g.members)
 	if k := len(g.freeOps); k > 0 {
 		op := g.freeOps[k-1]
 		g.freeOps = g.freeOps[:k-1]
-		*op = pendingOp{
-			deposit: op.deposit[:n], clocks: op.clocks[:n],
-			result: op.result[:n], scratch: op.scratch, orWords: op.orWords,
-		}
+		op.kind, op.followOn, op.seq = 0, false, 0
+		op.posted, op.waited = 0, 0
+		op.start, op.cost = 0, 0
+		op.done, op.poisoned = false, false
 		return op
 	}
-	return &pendingOp{
+	op := &pendingOp{
 		deposit: make([]payload, n),
 		clocks:  make([]float64, n),
-		result:  make([]payload, n),
+		scratch: make([][][]int64, n),
 	}
-}
-
-// opRow returns operation-owned result row i, sized to the group.
-// Callers hold g.mu.
-func (op *pendingOp) opRow(i, n int) [][]int64 {
-	for len(op.scratch) <= i {
-		op.scratch = append(op.scratch, nil)
-	}
-	if len(op.scratch[i]) != n {
-		op.scratch[i] = make([][]int64, n)
-	}
-	return op.scratch[i]
+	op.cv = sync.NewCond(&op.mu)
+	return op
 }
 
 // post is the shared half of every nonblocking collective: it files the
@@ -132,9 +158,10 @@ func (g *Group) post(r *Rank, dep payload, kind opKind, tag string, followOn boo
 		panic(fmt.Sprintf("cluster: rank %d not in group", r.id))
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.poisoned != nil {
-		panic(g.poisoned)
+		p := g.poisoned
+		g.mu.Unlock()
+		panic(p)
 	}
 	if g.pending == nil {
 		g.pending = make(map[uint64]*pendingOp)
@@ -151,37 +178,53 @@ func (g *Group) post(r *Rank, dep payload, kind opKind, tag string, followOn boo
 	if op.kind != kind || op.followOn != followOn {
 		err := fmt.Errorf("cluster: nonblocking post order mismatch: rank %d posted %v (followOn=%v) where the group expects %v (followOn=%v)",
 			r.id, kind, followOn, op.kind, op.followOn)
-		g.poisoned = err
-		g.cv.Broadcast()
+		g.poisonLocked(err)
+		g.mu.Unlock()
 		panic(err)
 	}
 	op.deposit[me] = dep
 	op.clocks[me] = r.clock
 	op.posted++
-	if op.posted == len(g.members) {
-		// Complete: move the data and price the operation. A panic while
-		// finishing (malformed deposits) poisons the group so no member
-		// deadlocks on an operation that will never complete.
-		func() {
-			defer func() {
-				if e := recover(); e != nil {
-					g.poisoned = e
-					g.cv.Broadcast()
-					panic(e)
-				}
-			}()
-			cost := g.finishOp(op)
-			start := g.busyUntil
-			for _, c := range op.clocks {
-				if c > start {
-					start = c
-				}
+	last := op.posted == len(g.members)
+	if last {
+		// Complete the scalar metadata under the lock: validate, price,
+		// and claim the channel. A panic (malformed deposits) poisons the
+		// group so no member deadlocks on an operation that will never
+		// complete.
+		if e := func() (e any) {
+			defer func() { e = recover() }()
+			op.cost = g.priceOp(op)
+			return nil
+		}(); e != nil {
+			g.poisonLocked(e)
+			g.mu.Unlock()
+			panic(e)
+		}
+		start := g.busyUntil
+		for _, c := range op.clocks {
+			if c > start {
+				start = c
 			}
-			op.start, op.cost = start, cost
-			g.busyUntil = start + cost
-		}()
+		}
+		op.start = start
+		g.busyUntil = start + op.cost
+	}
+	g.mu.Unlock()
+	if last {
+		// The only cross-member merge — the bitmap OR fold — runs outside
+		// the group lock: peers are off computing their overlap regions,
+		// and waiters cannot read the accumulator until done flips below.
+		if op.kind == opIAllgatherBits {
+			totalWords := op.deposit[0].num2
+			if int64(cap(op.orWords)) < totalWords {
+				op.orWords = make([]uint64, totalWords)
+			}
+			orMergeRange(op.deposit, op.orWords[:totalWords], 0, totalWords)
+		}
+		op.mu.Lock()
 		op.done = true
-		g.cv.Broadcast()
+		op.cv.Broadcast()
+		op.mu.Unlock()
 	}
 	return Request{g: g, r: r, op: op, tag: tag, kind: kind}
 }
@@ -199,21 +242,15 @@ func followOnCost(full, latencyOnly, injection float64) float64 {
 	return cost
 }
 
-// finishOp fills op.result from op.deposit and returns the modeled
-// cost. Callers hold g.mu.
-func (g *Group) finishOp(op *pendingOp) float64 {
+// priceOp validates the deposits and returns the operation's modeled
+// cost. Callers hold g.mu; no data moves here — assembly happens per
+// waiter, and the bitmap merge after the lock is released.
+func (g *Group) priceOp(op *pendingOp) float64 {
 	n := len(g.members)
 	switch op.kind {
 	case opIAlltoallv:
 		sendCounts, recvCounts := g.countBufs()
 		maxSend, maxRecv := alltoallvMaxVolumes(op.deposit, sendCounts, recvCounts)
-		for dst := 0; dst < n; dst++ {
-			recv := op.opRow(dst, n)
-			for src := 0; src < n; src++ {
-				recv[src] = op.deposit[src].mat[dst]
-			}
-			op.result[dst] = payload{mat: recv}
-		}
 		cost := g.world.Model.Alltoallv(n, maxSend, maxRecv)
 		if op.followOn {
 			cost = followOnCost(cost, g.world.Model.Alltoallv(n, 0, 0),
@@ -221,14 +258,9 @@ func (g *Group) finishOp(op *pendingOp) float64 {
 		}
 		return cost
 	case opIAllgatherv:
-		parts := op.opRow(0, n)
 		var total int64
 		for i := 0; i < n; i++ {
-			parts[i] = op.deposit[i].vec
-			total += int64(len(parts[i]))
-		}
-		for i := range op.result {
-			op.result[i] = payload{mat: parts}
+			total += int64(len(op.deposit[i].vec))
 		}
 		cost := g.world.Model.Allgatherv(n, total)
 		if op.followOn {
@@ -238,50 +270,55 @@ func (g *Group) finishOp(op *pendingOp) float64 {
 		return cost
 	case opIAllgatherBits:
 		totalWords := op.deposit[0].num2
-		if int64(cap(op.orWords)) < totalWords {
-			op.orWords = make([]uint64, totalWords)
-		}
-		acc := op.orWords[:totalWords]
-		orMergeBitsBlocks(op.deposit, acc, totalWords)
-		for i := range op.result {
-			op.result[i] = payload{bm: acc}
-		}
+		validateBitsBlocks(op.deposit, totalWords)
 		return g.world.Model.Allgatherv(n, totalWords)
 	}
 	panic("cluster: unknown nonblocking operation kind")
 }
 
-// wait blocks until the request's operation has completed, charges the
-// exposed communication time, and returns the member's result.
-func (q Request) wait() payload {
+// wait parks until the request's operation has completed (or the group
+// is poisoned, which panics). On return the operation's deposits and
+// metadata are stable and safe to read.
+func (q Request) wait() {
 	g, op := q.g, q.op
 	if g == nil {
 		panic("cluster: Wait on a zero Request")
 	}
-	g.mu.Lock()
-	for !op.done && g.poisoned == nil {
-		g.cv.Wait()
+	op.mu.Lock()
+	for !op.done && !op.poisoned {
+		op.cv.Wait()
 	}
+	done := op.done
+	op.mu.Unlock()
+	if !done {
+		panic(g.poisonErr())
+	}
+}
+
+// finish is the bookkeeping tail of a Wait: it charges the exposed
+// communication time and recycles the operation once every member has
+// waited. Callers must be done reading the operation's fields — the
+// last waiter releases the record to the freelist.
+func (q Request) finish() {
+	g, op, r := q.g, q.op, q.r
+	g.mu.Lock()
 	if g.poisoned != nil {
 		p := g.poisoned
 		g.mu.Unlock()
 		panic(p)
 	}
-	me := g.RankIn(q.r)
-	out := op.result[me]
 	done := op.start + op.cost
 	op.waited++
 	if op.waited == len(g.members) {
 		delete(g.pending, op.seq)
+		clear(op.deposit) // drop payload references before the freelist holds them
 		g.freeOps = append(g.freeOps, op)
 	}
 	g.mu.Unlock()
-	r := q.r
 	if done > r.clock {
-		r.commTime[q.tag] += done - r.clock
+		r.bookComm(q.tag, done-r.clock)
 		r.clock = done
 	}
-	return out
 }
 
 // IAlltoallv posts the nonblocking form of Alltoallv: send[j] goes to
@@ -334,14 +371,31 @@ func (q Request) WaitMat() [][]int64 {
 	if q.kind != opIAlltoallv && q.kind != opIAllgatherv {
 		panic(fmt.Sprintf("cluster: WaitMat on a %v request", q.kind))
 	}
-	out := q.wait().mat
-	for i, part := range out {
-		if q.kind == opIAllgatherv && q.g.members[i] == q.r.id {
+	q.wait()
+	g, op := q.g, q.op
+	me := g.RankIn(q.r)
+	n := len(g.members)
+	// Parallel assembly: each waiter builds its own row from the stable
+	// deposits, outside any lock.
+	row := op.row(me, n)
+	switch q.kind {
+	case opIAlltoallv:
+		for src := range row {
+			row[src] = op.deposit[src].mat[me]
+		}
+	case opIAllgatherv:
+		for i := range row {
+			row[i] = op.deposit[i].vec
+		}
+	}
+	q.finish()
+	for i, part := range row {
+		if q.kind == opIAllgatherv && g.members[i] == q.r.id {
 			continue // own contribution is not received traffic
 		}
 		q.r.recvWords += int64(len(part))
 	}
-	return out
+	return row
 }
 
 // WaitBits completes an IAllgatherBitsBlocks request and returns the
@@ -351,7 +405,9 @@ func (q Request) WaitBits() []uint64 {
 	if q.kind != opIAllgatherBits {
 		panic(fmt.Sprintf("cluster: WaitBits on a %v request", q.kind))
 	}
-	out := q.wait().bm
+	q.wait()
+	out := q.op.orWords[:q.bitsTot]
+	q.finish()
 	if recv := q.bitsTot - q.bitsSent; recv > 0 {
 		q.r.recvWords += recv
 	}

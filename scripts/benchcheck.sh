@@ -2,7 +2,10 @@
 # benchcheck.sh — the bench-regression gate: regenerate the BENCH
 # trajectory into a temp file with `bfsbench -bench-out` and compare it
 # against the committed BENCH_bfs.json with scripts/benchcmp. Fails if
-# steady-state allocs/op grows or batch_speedup drops beyond tolerance.
+# steady-state allocs/op grows or batch_speedup drops beyond tolerance,
+# and on multicore runners if parallel_efficiency falls under its floor
+# (the collective-engine serialization canary); differing core counts
+# between baseline and runner only warn.
 #
 # This is minutes of wall clock (each configuration times a 16-search
 # batch against 16 full rebuilds), so ci.sh only runs it when

@@ -18,6 +18,14 @@
 // so its tolerance only catches collapses (losing session reuse drops
 // it from ~50-190x to ~1x).
 //
+// On multicore hosts a third family gates: parallel_efficiency (the
+// GOMAXPROCS=1 / GOMAXPROCS=all level-loop ratio, at the report scale
+// and at scale 18) must clear an absolute floor, so a serialization
+// point reintroduced into the collective engine fails CI instead of
+// landing silently. Host metadata (cpu count, Go version) is compared
+// informationally: differing core counts warn, never fail, since
+// wall-clock columns are only comparable within a host class.
+//
 // Usage:
 //
 //	benchcmp -baseline BENCH_bfs.json -candidate /tmp/bench.json
@@ -58,13 +66,36 @@ type result struct {
 	ServeOccupancy float64 `json:"serve_batch_occupancy"`
 }
 
+// hostInfo mirrors the host stamp bfsbench records: wall-clock columns
+// are only comparable within a host class, so the gate warns (without
+// failing) when baseline and candidate core counts differ.
+type hostInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// probe mirrors the parallel-efficiency records (report scale and
+// scale 18): the GOMAXPROCS=1 / GOMAXPROCS=all level-loop ratio of the
+// collective engine. On a multicore host it must clear a floor — a
+// reintroduced serialization point (a merge under the group lock, a
+// condvar thundering herd) drags it back to ~1 while every correctness
+// test stays green.
+type probe struct {
+	Scale              int     `json:"scale"`
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
+}
+
 type report struct {
-	Scale   int      `json:"scale"`
-	Results []result `json:"results"`
+	Scale   int       `json:"scale"`
+	Host    *hostInfo `json:"host"`
+	Results []result  `json:"results"`
 	// HybridOverhead1D is the wall-clock 1d-hybrid/1d-flat ratio (the
 	// PR 1 single-core regression note); its trajectory is gated
 	// loosely because it shares the host with other CI jobs.
 	HybridOverhead1D float64 `json:"hybrid_overhead_1d"`
+	Parallel         *probe  `json:"parallel"`
+	Scale18          *probe  `json:"scale18"`
 }
 
 // tolerances bound how far a candidate metric may drift from baseline.
@@ -92,14 +123,34 @@ type tolerances struct {
 	// record don't wedge CI.
 	serveFloor    float64
 	serveOccFloor float64
+	// parallelFloor is the parallel_efficiency floor, enforced only when
+	// the candidate host has more than one CPU (a single-core host runs
+	// both sides of the ratio on the same schedule, so its value carries
+	// no signal). 1.05 is deliberately conservative — 16 rank goroutines
+	// on even 2 cores clear it comfortably — because its job is to catch
+	// the collapse back to ~1.0x, not to track scaling quality.
+	parallelFloor float64
 }
 
 func defaultTolerances() tolerances {
 	return tolerances{
 		allocGrow: 0.25, allocSlack: 16, speedupDrop: 0.6, speedupFloor: 2,
 		overlapFloor: 0.999999, hybridGrow: 0.5, amortFloor: 2,
-		serveFloor: 1, serveOccFloor: 16,
+		serveFloor: 1, serveOccFloor: 16, parallelFloor: 1.05,
 	}
+}
+
+// warnings returns advisory messages that do not fail the gate:
+// cross-host comparisons whose wall-clock columns are not directly
+// comparable.
+func warnings(base, cand *report) []string {
+	var warn []string
+	if base.Host != nil && cand.Host != nil && base.Host.NumCPU != cand.Host.NumCPU {
+		warn = append(warn, fmt.Sprintf(
+			"baseline host has %d cpus, candidate %d: wall-clock columns (ns/op, batch timings, parallel_efficiency) are not directly comparable",
+			base.Host.NumCPU, cand.Host.NumCPU))
+	}
+	return warn
 }
 
 // compare returns one message per regressed metric; an empty slice
@@ -154,6 +205,29 @@ func compare(base, cand *report, tol tolerances) []string {
 		bad = append(bad, fmt.Sprintf("hybrid_overhead_1d %.2fx exceeds baseline %.2fx (+%.0f%%)",
 			cand.HybridOverhead1D, base.HybridOverhead1D, tol.hybridGrow*100))
 	}
+	// Parallel-efficiency gate. Records must not vanish once the
+	// baseline carries them, and on a multicore candidate host the
+	// efficiency must clear its floor: collapsing to ~1.0x means a
+	// serialization point crept back into the collective engine while
+	// every correctness test stayed green.
+	if base.Parallel != nil && cand.Parallel == nil {
+		bad = append(bad, "parallel: probe record missing from candidate")
+	}
+	if base.Scale18 != nil && cand.Scale18 == nil {
+		bad = append(bad, "scale18: probe record missing from candidate (scale-18 run no longer completes?)")
+	}
+	if cand.Host != nil && cand.Host.NumCPU > 1 {
+		for _, pr := range []struct {
+			name string
+			p    *probe
+		}{{"parallel", cand.Parallel}, {"scale18", cand.Scale18}} {
+			name, p := pr.name, pr.p
+			if p != nil && p.ParallelEfficiency < tol.parallelFloor {
+				bad = append(bad, fmt.Sprintf("%s: parallel_efficiency %.2fx below the %.2fx floor on a %d-cpu host — collective engine serialized",
+					name, p.ParallelEfficiency, tol.parallelFloor, cand.Host.NumCPU))
+			}
+		}
+	}
 	return bad
 }
 
@@ -190,6 +264,9 @@ func main() {
 		if cand, err = loadReport(*candidate); err == nil {
 			tol := defaultTolerances()
 			tol.allocGrow, tol.speedupDrop = *allocGrow, *speedupDrop
+			for _, msg := range warnings(base, cand) {
+				fmt.Fprintln(os.Stderr, "benchcmp: WARNING:", msg)
+			}
 			if bad := compare(base, cand, tol); len(bad) > 0 {
 				for _, msg := range bad {
 					fmt.Fprintln(os.Stderr, "benchcmp: REGRESSION:", msg)

@@ -255,3 +255,77 @@ func TestCompareServeGates(t *testing.T) {
 		t.Fatalf("pre-serving baseline enforced the serve floors: %v", bad)
 	}
 }
+
+// TestCompareParallelEfficiencyGate covers the PR 8 additions: on a
+// multicore candidate host, parallel_efficiency collapsing back to ~1x
+// (a serialization point reintroduced into the collective engine) fails
+// the gate; on a single-core host the ratio carries no signal and is
+// never enforced; probe records vanishing once the baseline carries
+// them is itself a regression.
+func TestCompareParallelEfficiencyGate(t *testing.T) {
+	tol := defaultTolerances()
+	row := result{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188}
+	base := &report{Scale: 16, Host: &hostInfo{NumCPU: 8}, Results: []result{row},
+		Parallel: &probe{Scale: 16, ParallelEfficiency: 3.4},
+		Scale18:  &probe{Scale: 18, ParallelEfficiency: 3.9}}
+
+	healthy := &report{Host: &hostInfo{NumCPU: 8}, Results: []result{row},
+		Parallel: &probe{Scale: 16, ParallelEfficiency: 2.1},
+		Scale18:  &probe{Scale: 18, ParallelEfficiency: 2.5}}
+	if bad := compare(base, healthy, tol); len(bad) != 0 {
+		t.Fatalf("healthy parallel candidate flagged: %v", bad)
+	}
+
+	serialized := &report{Host: &hostInfo{NumCPU: 8}, Results: []result{row},
+		Parallel: &probe{Scale: 16, ParallelEfficiency: 1.01},
+		Scale18:  &probe{Scale: 18, ParallelEfficiency: 2.5}}
+	bad := compare(base, serialized, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "parallel_efficiency") {
+		t.Fatalf("serialized engine not flagged: %v", bad)
+	}
+
+	// Single-core host: both sides of the ratio run the same schedule,
+	// so ~1.0x is expected and must pass.
+	singleCore := &report{Host: &hostInfo{NumCPU: 1}, Results: []result{row},
+		Parallel: &probe{Scale: 16, ParallelEfficiency: 0.99},
+		Scale18:  &probe{Scale: 18, ParallelEfficiency: 1.0}}
+	if bad := compare(base, singleCore, tol); len(bad) != 0 {
+		t.Fatalf("single-core candidate flagged: %v", bad)
+	}
+
+	vanished := &report{Host: &hostInfo{NumCPU: 8}, Results: []result{row}}
+	bad = compare(base, vanished, tol)
+	if len(bad) != 2 || !strings.Contains(bad[0], "parallel") || !strings.Contains(bad[1], "scale18") {
+		t.Fatalf("vanished probe records not flagged: %v", bad)
+	}
+
+	// Pre-PR-8 baseline (no host, no probes): nothing new is enforced.
+	oldBase := &report{Scale: 16, Results: []result{row}}
+	if bad := compare(oldBase, vanished, tol); len(bad) != 0 {
+		t.Fatalf("pre-probe baseline enforced probe gates: %v", bad)
+	}
+}
+
+// TestWarnCrossHost: differing core counts between baseline and
+// candidate warn without failing — the wall-clock columns are not
+// directly comparable, but a laptop regenerating a CI-host baseline
+// must not be told its tree regressed.
+func TestWarnCrossHost(t *testing.T) {
+	row := result{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188}
+	base := &report{Host: &hostInfo{NumCPU: 8}, Results: []result{row}}
+	cand := &report{Host: &hostInfo{NumCPU: 2}, Results: []result{row}}
+	warn := warnings(base, cand)
+	if len(warn) != 1 || !strings.Contains(warn[0], "8 cpus") || !strings.Contains(warn[0], "2") {
+		t.Fatalf("cross-host comparison not warned: %v", warn)
+	}
+	if bad := compare(base, cand, defaultTolerances()); len(bad) != 0 {
+		t.Fatalf("cross-host warning escalated to failure: %v", bad)
+	}
+	if warn := warnings(base, base); len(warn) != 0 {
+		t.Fatalf("same-host comparison warned: %v", warn)
+	}
+	// Hostless reports (pre-PR-8 baselines) never warn.
+	if warn := warnings(&report{Results: []result{row}}, cand); len(warn) != 0 {
+		t.Fatalf("hostless baseline warned: %v", warn)
+	}
+}

@@ -65,8 +65,12 @@ echo "== race smoke (session reuse + collective substrate) =="
 # rectangular-grid tests at the facade, the randomized conformance
 # harness (-short trims its graph stream; it drives every driver's
 # nonblocking overlap pipeline), the cluster substrate's own suite
-# (including the nonblocking post/wait collectives), and the 2D
-# driver's rectangular transpose/partitioned-bitmap/overlap paths.
+# (the parallel rendezvous engine — including the jittered
+# blocking/nonblocking stress schedules in rendezvous_stress_test.go,
+# which skew goroutine interleavings across grids and subcommunicators
+# and assert bit-identical simulated figures — plus the nonblocking
+# post/wait collectives), and the 2D driver's rectangular
+# transpose/partitioned-bitmap/overlap paths.
 go test -race -run 'Session|CrossShape|RectGrid' .
 go test -race -short -run 'Conformance' .
 go test -race ./internal/cluster ./internal/smp
@@ -92,6 +96,18 @@ go test -race ./internal/serve
 
 echo "== bench smoke (BFS level loops, 1 iteration) =="
 go test -run '^$' -bench=BFS -benchtime=1x -benchmem .
+
+echo "== bench smoke (GOMAXPROCS axis) =="
+# The same steady-state level loops pinned to one core: the parallel
+# collective engine must stay correct when rank goroutines are forced
+# to time-slice a single P (the degenerate schedule every arrival gate
+# and wake token must survive), and keeping both axes exercised here
+# means a reintroduced serialization point shows up as the 1-vs-all
+# wall-clock gap collapsing — which the bench-regression job turns
+# into a hard failure via the parallel_efficiency floor on multicore
+# runners.
+GOMAXPROCS=1 go test -run '^$' -bench='BFSLevelLoop(1D|2D)Flat$' -benchtime=1x .
+go test -run '^$' -bench='BFSLevelLoop(1D|2D)Flat$' -benchtime=1x .
 
 if [ "${CI_BENCHCHECK:-0}" = "1" ]; then
     echo "== bench-regression gate =="
