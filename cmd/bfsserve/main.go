@@ -1,18 +1,30 @@
 // Command bfsserve is the batching BFS query server: a long-running
 // HTTP front end over the bit-parallel multi-source kernel. Queries
-// POSTed to /query are formed into MS-BFS batches of up to 64 sources
-// (batch full OR max-wait elapsed), executed on a warm pbfs session
-// pool, and answered with each query's distances and its amortized
-// share of the batch's clock; /metrics reports per-SLO-class queue
-// wait, occupancy, latency percentiles, and harmonic-mean TEPS.
+// POSTed to /v1/query are routed to their graph, answered from the
+// hot-source result cache when possible, coalesced with identical
+// in-queue queries otherwise, and formed into MS-BFS batches of up to
+// 64 sources (batch full, max-wait elapsed, or a deadline coming due).
+// Each registered graph gets its own queue, batch former, session
+// pool, and cache, so batches never mix graphs.
+//
+// Endpoints: /v1/query, /v1/graphs, /v1/metrics, /v1/healthz. The
+// pre-v1 paths (/query, /metrics, /healthz) still work and answer with
+// a Deprecation header pointing at their successors.
 //
 // Example:
 //
 //	bfsserve -addr :8080 -scale 16 -algo 1d -ranks 16 -machine franklin \
-//	         -policy priority -max-wait 2ms -sessions 2
+//	         -policy slack -max-wait 2ms -sessions 2 -cache-size 256 \
+//	         -extra-graph "web,scale=14,seed=7,web"
 //
-//	curl -s localhost:8080/query -d '{"source": 7, "class": "interactive"}'
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/graphs
+//	curl -s localhost:8080/v1/query -d '{"source": 7, "class": "interactive"}'
+//	curl -s localhost:8080/v1/query \
+//	     -d '{"graph": "web", "source": 3, "deadline_ms": 50}'
+//	curl -s localhost:8080/v1/metrics
+//
+// A query whose deadline cannot be met is shed with 504 and reason
+// "deadline"; a full queue answers 429 with a Retry-After estimate.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, queued queries
 // flush as final batches, and in-flight batches finish before exit.
@@ -26,6 +38,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +52,61 @@ var algoNames = map[string]pbfs.Algorithm{
 	"1d-hybrid": pbfs.OneDHybrid,
 	"2d":        pbfs.TwoDFlat,
 	"2d-hybrid": pbfs.TwoDHybrid,
+}
+
+// graphSpec is one -extra-graph flag value: an ID plus enough of the
+// generator knobs to build the graph. Zero-valued fields inherit the
+// top-level -scale/-edgefactor/-seed defaults at build time.
+type graphSpec struct {
+	id         string
+	scale      int
+	edgeFactor int
+	seed       uint64
+	web        bool
+	file       string
+}
+
+// parseGraphSpec parses "id[,scale=N][,edgefactor=N][,seed=N][,web][,file=P]".
+func parseGraphSpec(s string) (graphSpec, error) {
+	parts := strings.Split(s, ",")
+	spec := graphSpec{id: strings.TrimSpace(parts[0])}
+	if spec.id == "" {
+		return spec, fmt.Errorf("graph spec %q: empty id", s)
+	}
+	for _, p := range parts[1:] {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(p), "=")
+		var err error
+		switch {
+		case key == "web" && !hasVal:
+			spec.web = true
+		case key == "scale":
+			spec.scale, err = strconv.Atoi(val)
+		case key == "edgefactor":
+			spec.edgeFactor, err = strconv.Atoi(val)
+		case key == "seed":
+			spec.seed, err = strconv.ParseUint(val, 10, 64)
+		case key == "file":
+			spec.file = val
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("graph spec %q: %v", s, err)
+		}
+	}
+	return spec, nil
+}
+
+// build generates or loads the spec's graph.
+func (spec graphSpec) build() (*pbfs.Graph, error) {
+	switch {
+	case spec.file != "":
+		return pbfs.NewGraphFromFile(spec.file)
+	case spec.web:
+		return pbfs.NewWebCrawlGraph(1<<uint(spec.scale), spec.seed)
+	default:
+		return pbfs.NewRMATGraph(spec.scale, spec.edgeFactor, spec.seed)
+	}
 }
 
 func main() {
@@ -54,11 +123,22 @@ func main() {
 		machine    = flag.String("machine", "franklin", "cost model: franklin, hopper, carver, or '' for none")
 		batchMax   = flag.Int("batch-max", pbfs.BatchWidth, "dispatch width (clamped to 64, one mask word)")
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "max queue wait before a partial batch dispatches")
-		queueDepth = flag.Int("queue-depth", 1024, "pending-queue admission limit")
-		policyName = flag.String("policy", "fcfs", "scheduling policy: fcfs, sjf, priority")
+		queueDepth = flag.Int("queue-depth", 1024, "per-graph pending-queue admission limit")
+		policyName = flag.String("policy", "slack", "scheduling policy: fcfs, sjf, priority, slack")
 		aging      = flag.Duration("aging", 10*time.Millisecond, "priority-policy aging quantum (priority gains 1 tier per quantum waited)")
-		sessions   = flag.Int("sessions", 2, "session pool size: batches that may execute concurrently")
+		sessions   = flag.Int("sessions", 2, "per-graph session pool size: batches that may execute concurrently")
+		cacheSize  = flag.Int("cache-size", serve.DefaultCacheSize, "per-graph hot-source result cache entries (negative disables)")
 	)
+	var extras []graphSpec
+	flag.Func("extra-graph", `register an additional graph: "id[,scale=N][,edgefactor=N][,seed=N][,web][,file=P]" (repeatable)`,
+		func(s string) error {
+			spec, err := parseGraphSpec(s)
+			if err != nil {
+				return err
+			}
+			extras = append(extras, spec)
+			return nil
+		})
 	flag.Parse()
 
 	algo, ok := algoNames[*algoName]
@@ -70,28 +150,34 @@ func main() {
 		fatal(err)
 	}
 
-	var g *pbfs.Graph
-	switch {
-	case *graphFile != "":
-		g, err = pbfs.NewGraphFromFile(*graphFile)
-	case *web:
-		g, err = pbfs.NewWebCrawlGraph(1<<uint(*scale), *seed)
-	default:
-		g, err = pbfs.NewRMATGraph(*scale, *edgeFactor, *seed)
-	}
-	if err != nil {
-		fatal(err)
+	opt := pbfs.Options{Algorithm: algo, Ranks: *ranks, Threads: *threads, Machine: *machine}
+	defaultSpec := graphSpec{id: "default", scale: *scale, edgeFactor: *edgeFactor,
+		seed: *seed, web: *web, file: *graphFile}
+	cfgs := make([]serve.GraphConfig, 0, 1+len(extras))
+	for _, spec := range append([]graphSpec{defaultSpec}, extras...) {
+		if spec.scale == 0 {
+			spec.scale = *scale
+		}
+		if spec.edgeFactor == 0 {
+			spec.edgeFactor = *edgeFactor
+		}
+		if spec.seed == 0 {
+			spec.seed = *seed
+		}
+		g, err := spec.build()
+		if err != nil {
+			fatal(fmt.Errorf("graph %s: %v", spec.id, err))
+		}
+		fmt.Printf("bfsserve: graph %s ready (%d vertices, %d edges)\n",
+			spec.id, g.NumVerts(), g.NumEdges())
+		cfgs = append(cfgs, serve.GraphConfig{ID: spec.id, Graph: g, Options: opt})
 	}
 
-	fmt.Printf("bfsserve: graph ready (%d vertices, %d edges); warming %d session(s)...\n",
-		g.NumVerts(), g.NumEdges(), *sessions)
+	fmt.Printf("bfsserve: warming %d session(s) per graph...\n", *sessions)
 	srv, err := serve.New(serve.Config{
-		Graph: g,
-		Options: pbfs.Options{
-			Algorithm: algo, Ranks: *ranks, Threads: *threads, Machine: *machine,
-		},
+		Graphs:   cfgs,
 		BatchMax: *batchMax, MaxWait: *maxWait, QueueDepth: *queueDepth,
-		Policy: policy, Sessions: *sessions,
+		Policy: policy, Sessions: *sessions, CacheSize: *cacheSize,
 	})
 	if err != nil {
 		fatal(err)
@@ -105,16 +191,20 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("bfsserve: draining...")
-		srv.Shutdown() // stop admission, flush the queue, finish in-flight batches
+		srv.Shutdown() // stop admission, flush the queues, finish in-flight batches
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 		snap := srv.Metrics()
 		fmt.Printf("bfsserve: drained: %d queries in %d batches (mean occupancy %.1f)\n",
 			snap.Queries, snap.Batches, snap.MeanOccupancy)
+		for _, gs := range snap.Graphs {
+			fmt.Printf("bfsserve:   %-12s %d queries, %d batches, cache hit rate %.2f\n",
+				gs.Graph, gs.Queries, gs.Batches, gs.CacheHitRate)
+		}
 	}()
-	fmt.Printf("bfsserve: serving %s (policy %s, batch<=%d, max-wait %v, queue %d)\n",
-		*addr, policy.Name(), *batchMax, *maxWait, *queueDepth)
+	fmt.Printf("bfsserve: serving %s (%d graph(s), policy %s, batch<=%d, max-wait %v, queue %d, cache %d)\n",
+		*addr, len(cfgs), policy.Name(), *batchMax, *maxWait, *queueDepth, *cacheSize)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

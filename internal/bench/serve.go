@@ -100,3 +100,169 @@ func serveBench(sess *pbfs.Session, g *pbfs.Graph, opt pbfs.Options, pool []int6
 	prof.amortizedSimNs /= float64(prof.queries)
 	return prof, nil
 }
+
+// The v1 serving probe's workload shape: serveV1Queries Zipf-skewed
+// queries over serveV1Pool hot sources per graph, in bursts one
+// simulated millisecond apart. Every 16th query carries an already-due
+// deadline (and bypasses the cache), every other 4th a loose one-hour
+// deadline, so the deadline-miss denominator and the shed set are both
+// deterministic under the fake clock.
+const (
+	serveV1Queries = 1024
+	serveV1Pool    = 64
+	serveV1Zipf    = 1.2
+)
+
+// ServeGraphProbe is one registered graph's share of the v1 serving
+// probe: its lifetime batch/occupancy/cache accounting from the
+// server's own metrics.
+type ServeGraphProbe struct {
+	Graph         string  `json:"graph"`
+	Queries       int64   `json:"queries"`
+	Batches       int64   `json:"batches"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
+// ServeProbe is the deterministic v1 multi-graph serving record: a
+// seeded Zipf query stream over two registered graphs driven through
+// the serve.Harness (the full admission path — cache, single-flight
+// coalescing, deadline scheduling, per-graph queues) on a fake clock.
+// CacheHitRate is the hot-source cache's hit fraction across graphs
+// (the Zipf skew payoff); DeadlineMissRate is the shed fraction of
+// deadline-carrying queries. Both derive from the simulated clock and
+// seeded arrivals, so they are bit-identical across runs and hosts and
+// gate tightly in benchcmp.
+type ServeProbe struct {
+	Queries          int               `json:"queries"`
+	Served           int               `json:"served"`
+	Coalesced        int64             `json:"coalesced"`
+	DeadlineCarrying int               `json:"deadline_carrying"`
+	DeadlineShed     int               `json:"deadline_shed"`
+	CacheHitRate     float64           `json:"serve_cache_hit_rate"`
+	DeadlineMissRate float64           `json:"serve_deadline_miss_rate"`
+	Graphs           []ServeGraphProbe `json:"graphs"`
+}
+
+// MeasureServe runs the v1 serving probe: primary (the report's graph)
+// plus a smaller secondary graph registered on one server, so batches
+// route per graph and never mix. Returns the probe record.
+func MeasureServe(primary *pbfs.Graph, scale, ef int, seed uint64) (*ServeProbe, error) {
+	secScale := scale - 2
+	if secScale < 8 {
+		secScale = 8
+	}
+	secondary, err := pbfs.NewRMATGraph(secScale, ef, seed+0xd15c)
+	if err != nil {
+		return nil, err
+	}
+	opt := pbfs.Options{Algorithm: pbfs.OneDFlat, Ranks: 16, Machine: "franklin"}
+	graphs := []struct {
+		id string
+		g  *pbfs.Graph
+	}{{"primary", primary}, {"secondary", secondary}}
+	pools := make(map[string][]int64, len(graphs))
+	for _, gr := range graphs {
+		pool := gr.g.Sources(serveV1Pool, seed)
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("bench: no serving sources on %s", gr.id)
+		}
+		pools[gr.id] = pool
+	}
+	clock := serve.NewFakeClock(time.Unix(1_700_000_000, 0))
+	h, err := serve.NewHarness(serve.Config{
+		Graphs: []serve.GraphConfig{
+			{ID: "primary", Graph: primary, Options: opt},
+			{ID: "secondary", Graph: secondary, Options: opt},
+		},
+		BatchMax: pbfs.BatchWidth, MaxWait: 3 * time.Millisecond,
+		QueueDepth: 4 * serveV1Queries, Policy: serve.Slack{},
+		CacheSize: serveV1Pool, Clock: clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	probe := &ServeProbe{Queries: serveV1Queries}
+	var inflight []<-chan *serve.Response
+	rng := rand.New(rand.NewSource(int64(seed)))
+	zipf := rand.NewZipf(rng, serveV1Zipf, 1, serveV1Pool-1)
+	for submitted := 0; submitted < serveV1Queries; {
+		burst := serveBurst
+		if submitted+burst > serveV1Queries {
+			burst = serveV1Queries - submitted
+		}
+		for i := 0; i < burst; i++ {
+			gr := graphs[rng.Intn(len(graphs))]
+			pool := pools[gr.id]
+			q := serve.Query{GraphID: gr.id, Source: pool[int(zipf.Uint64())%len(pool)]}
+			submitted++
+			switch {
+			case submitted%16 == 0:
+				q.Deadline = clock.Now()
+				q.NoCache = true
+				probe.DeadlineCarrying++
+			case submitted%4 == 0:
+				q.Deadline = clock.Now().Add(time.Hour)
+				probe.DeadlineCarrying++
+			}
+			ch, err := h.Submit(q)
+			if err != nil {
+				if rej, ok := serve.AsReject(err); ok && rej.Reason == serve.RejectDeadline {
+					probe.DeadlineShed++
+					continue
+				}
+				return nil, err
+			}
+			inflight = append(inflight, ch)
+		}
+		clock.Advance(time.Millisecond)
+		h.Pump()
+	}
+	if wait := h.Wait(); wait > 0 {
+		clock.Advance(wait)
+		h.Pump()
+	}
+	h.Flush()
+	for i, ch := range inflight {
+		select {
+		case resp := <-ch:
+			if rej := resp.Reject(); rej != nil {
+				if rej.Reason != serve.RejectDeadline {
+					return nil, fmt.Errorf("bench: query %d rejected %s", i, rej.Reason)
+				}
+				probe.DeadlineShed++
+				continue
+			}
+			if resp.Err != nil {
+				return nil, resp.Err
+			}
+			probe.Served++
+		default:
+			return nil, fmt.Errorf("bench: query %d unanswered after flush", i)
+		}
+	}
+	if probe.Served+probe.DeadlineShed != serveV1Queries {
+		return nil, fmt.Errorf("bench: served %d + shed %d != %d queries",
+			probe.Served, probe.DeadlineShed, serveV1Queries)
+	}
+	if probe.DeadlineCarrying > 0 {
+		probe.DeadlineMissRate = float64(probe.DeadlineShed) / float64(probe.DeadlineCarrying)
+	}
+	snap := h.Server.Metrics()
+	var hits, misses int64
+	for _, gs := range snap.Graphs {
+		probe.Coalesced += gs.Coalesced
+		hits += gs.CacheHits
+		misses += gs.CacheMisses
+		probe.Graphs = append(probe.Graphs, ServeGraphProbe{
+			Graph: gs.Graph, Queries: gs.Queries, Batches: gs.Batches,
+			MeanOccupancy: gs.MeanOccupancy, CacheHitRate: gs.CacheHitRate,
+		})
+	}
+	if lookups := hits + misses; lookups > 0 {
+		probe.CacheHitRate = float64(hits) / float64(lookups)
+	}
+	return probe, nil
+}

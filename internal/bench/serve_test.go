@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
 	pbfs "repro"
@@ -54,5 +55,46 @@ func TestServeBenchDeterministic(t *testing.T) {
 	}
 	if other.queries != serveQueries {
 		t.Fatalf("seed 8 served %d queries, want %d", other.queries, serveQueries)
+	}
+}
+
+// TestMeasureServeDeterministic runs the v1 multi-graph serving probe
+// twice and demands bit-identical records: the Zipf arrivals, batch
+// composition, cache hit sequence, and deadline-shed set are all
+// driven by seeds and the fake clock, so any drift would flake the
+// BENCH gate's hit-rate floor and miss-rate ceiling.
+func TestMeasureServeDeterministic(t *testing.T) {
+	g, err := pbfs.NewRMATGraph(11, 8, 0xbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := MeasureServe(g, 11, 8, 0xbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Served+first.DeadlineShed != serveV1Queries {
+		t.Fatalf("probe accounting: served %d + shed %d != %d",
+			first.Served, first.DeadlineShed, serveV1Queries)
+	}
+	if first.CacheHitRate < 0.25 {
+		t.Fatalf("cache hit rate %.3f below the 0.25 BENCH floor", first.CacheHitRate)
+	}
+	if first.DeadlineMissRate <= 0 || first.DeadlineMissRate > 0.5 {
+		t.Fatalf("deadline miss rate %.3f outside (0, 0.5]: the tight/loose deadline mix should shed some and serve most", first.DeadlineMissRate)
+	}
+	if len(first.Graphs) != 2 {
+		t.Fatalf("probe graphs %+v, want primary and secondary", first.Graphs)
+	}
+	for _, gp := range first.Graphs {
+		if gp.Queries == 0 || gp.Batches == 0 {
+			t.Errorf("graph %s: queries=%d batches=%d, want traffic on both", gp.Graph, gp.Queries, gp.Batches)
+		}
+	}
+	second, err := MeasureServe(g, 11, 8, 0xbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", first) != fmt.Sprintf("%+v", second) {
+		t.Fatalf("MeasureServe not deterministic:\nfirst  %+v\nsecond %+v", first, second)
 	}
 }

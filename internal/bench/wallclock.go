@@ -128,6 +128,12 @@ type WallReport struct {
 	// itself is at scale 18 already).
 	Parallel *ParallelProbe `json:"parallel,omitempty"`
 	Scale18  *ParallelProbe `json:"scale18,omitempty"`
+	// Serve is the v1 multi-graph serving probe (PR 9): a deterministic
+	// Zipf query stream over two registered graphs through the full
+	// admission path (hot-source cache, single-flight coalescing,
+	// deadline scheduling), whose cache-hit and deadline-miss rates the
+	// benchcmp gate floors/ceilings.
+	Serve *ServeProbe `json:"serve,omitempty"`
 	// HybridOverhead1D tracks the PR 1 regression note: the wall-clock
 	// ratio of the 1D hybrid to the 1D flat steady-state search on this
 	// host. On a single-core host the hybrid's worker goroutines are
@@ -372,6 +378,12 @@ func WallClock(scale, ef int, seed uint64, overlapChunks int) (*WallReport, erro
 	} else {
 		report.Scale18 = report.Parallel
 	}
+	// The v1 serving probe: the report's graph plus a smaller secondary
+	// registered on one server, measured through the full admission
+	// path under a fake clock.
+	if report.Serve, err = MeasureServe(g, scale, ef, seed); err != nil {
+		return nil, err
+	}
 	return report, nil
 }
 
@@ -426,6 +438,18 @@ func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
 		fmt.Fprintf(w, "%-10s %8d %8d %10.1f %16.0f %13.1fx\n",
 			r.Config, r.ServeQueries, r.ServeBatches, r.ServeOccupancy,
 			r.ServeAmortizedNs, r.ServeSpeedup)
+	}
+	if rep.Serve != nil {
+		s := rep.Serve
+		fmt.Fprintf(w, "\nserve v1 probe: %d Zipf queries over %d graphs — served %d, deadline shed %d/%d (miss rate %.3f), coalesced %d, cache hit rate %.3f\n",
+			s.Queries, len(s.Graphs), s.Served, s.DeadlineShed, s.DeadlineCarrying,
+			s.DeadlineMissRate, s.Coalesced, s.CacheHitRate)
+		fmt.Fprintf(w, "%-12s %8s %8s %10s %10s\n",
+			"graph", "queries", "batches", "occupancy", "hit-rate")
+		for _, gp := range s.Graphs {
+			fmt.Fprintf(w, "%-12s %8d %8d %10.1f %10.3f\n",
+				gp.Graph, gp.Queries, gp.Batches, gp.MeanOccupancy, gp.CacheHitRate)
+		}
 	}
 	if rep.Parallel != nil {
 		fmt.Fprintf(w, "\n%-10s %6s %6s %18s %18s %12s %12s %12s\n",

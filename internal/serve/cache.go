@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheSize is the per-graph result-cache capacity (entries)
+// when Config.CacheSize is zero.
+const DefaultCacheSize = 128
+
+// plane is one completed search's cached output: the distance/parent
+// vectors and the batch-share metrics the original traversal produced.
+// Planes are immutable once cached — BFSBatch emits fresh output
+// slices per call, so cached responses can share them without copying.
+type plane struct {
+	Dist, Parent   []int64
+	Levels         int64
+	Reached        int64
+	TraversedEdges int64
+	SimTime        float64
+	TEPS           float64
+	// Batch identifies the dispatch that produced the plane, echoed on
+	// cached responses so a hit is traceable to its traversal.
+	Batch uint64
+}
+
+// planeCache is a bounded LRU of completed source → plane entries for
+// one graph: the hot-source result cache that lets Zipf-skewed traffic
+// skip the kernel on repeats. Safe for concurrent use. A nil
+// planeCache is a valid always-miss cache (caching disabled).
+type planeCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int64]*list.Element
+	lru     list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+// cacheEntry is one LRU node's payload.
+type cacheEntry struct {
+	source int64
+	plane  plane
+}
+
+// newPlaneCache returns a cache holding at most capacity planes;
+// capacities below 1 return nil (caching disabled).
+func newPlaneCache(capacity int) *planeCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &planeCache{cap: capacity, entries: make(map[int64]*list.Element, capacity)}
+}
+
+// get returns the cached plane for source, recording a hit or miss and
+// refreshing the entry's recency on hit.
+func (c *planeCache) get(source int64) (plane, bool) {
+	if c == nil {
+		return plane{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[source]
+	if !ok {
+		c.misses++
+		return plane{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).plane, true
+}
+
+// put inserts (or refreshes) source's plane, evicting the least
+// recently used entry at capacity.
+func (c *planeCache) put(source int64, p plane) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[source]; ok {
+		el.Value.(*cacheEntry).plane = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).source)
+	}
+	c.entries[source] = c.lru.PushFront(&cacheEntry{source: source, plane: p})
+}
+
+// stats returns the lifetime hit/miss counters and the current entry
+// count.
+func (c *planeCache) stats() (hits, misses int64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
+}

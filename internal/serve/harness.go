@@ -1,0 +1,95 @@
+package serve
+
+import "time"
+
+// Harness drives a Server's full pipeline deterministically: queries
+// are admitted through the same validation → cache → coalesce → queue
+// path as live traffic, but batches form and execute synchronously at
+// explicit fake-clock instants instead of on the serving loops' real
+// timers. Same clock script, same submissions → bit-identical batch
+// composition, cache hit sequence, and shed set on every run — the
+// substrate of the deterministic load tests and the serve_* BENCH
+// probes.
+//
+// A Harness is single-threaded by design: Submit and Pump from one
+// goroutine.
+type Harness struct {
+	// Server is the harnessed server; its read-only surfaces (Metrics,
+	// Graphs) work as usual. Its forming loops are not running — all
+	// batching goes through Pump and Flush.
+	Server *Server
+	clock  Clock
+}
+
+// NewHarness builds a harnessed server from cfg. cfg.Clock should be a
+// FakeClock the caller advances between Pump calls (a nil Clock
+// defaults to Wall, which makes the harness pointless but not wrong).
+func NewHarness(cfg Config) (*Harness, error) {
+	s, err := newServer(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{Server: s, clock: s.clock}, nil
+}
+
+// Submit admits one query; cache hits answer on the returned channel
+// immediately, everything else waits for a Pump or Flush.
+func (h *Harness) Submit(q Query) (<-chan *Response, error) {
+	return h.Server.SubmitQuery(q)
+}
+
+// Pump forms and executes every batch due at the current clock across
+// all registered graphs, in registration order, and returns how many
+// batches ran. Each batch completes before the next forms, so
+// responses land in a deterministic order.
+func (h *Harness) Pump() int {
+	n := 0
+	for _, id := range h.Server.order {
+		w := h.Server.workers[id]
+		for {
+			now := h.clock.Now()
+			batch, _ := w.former.Next(now)
+			if batch == nil {
+				break
+			}
+			w.runBatch(batch, now)
+			n++
+		}
+	}
+	return n
+}
+
+// Wait returns the duration until the earliest pending due time across
+// all graphs (zero when nothing is pending or due), so a driver can
+// advance its fake clock exactly to the next dispatch.
+func (h *Harness) Wait() time.Duration {
+	var min time.Duration
+	for _, id := range h.Server.order {
+		if wait := h.Server.workers[id].former.Wait(h.clock.Now()); wait > 0 {
+			if min == 0 || wait < min {
+				min = wait
+			}
+		}
+	}
+	return min
+}
+
+// Flush drains every graph's queue as final batches (ignoring due
+// times) and returns how many batches ran.
+func (h *Harness) Flush() int {
+	n := 0
+	for _, id := range h.Server.order {
+		w := h.Server.workers[id]
+		now := h.clock.Now()
+		for _, batch := range w.former.Flush(now) {
+			w.runBatch(batch, now)
+			n++
+		}
+	}
+	return n
+}
+
+// Close shuts the harnessed server down (straggler sweep, session
+// pools released). Flush first to serve rather than reject anything
+// still queued.
+func (h *Harness) Close() { h.Server.Shutdown() }

@@ -10,7 +10,7 @@ import (
 // metricsWindow bounds the per-class sample window the percentile and
 // TEPS statistics are computed over, so a long-running server's
 // metrics stay O(1) in served traffic. Counters (served, rejected,
-// occupancy means) are lifetime.
+// occupancy means, cache hits) are lifetime.
 const metricsWindow = 4096
 
 // sample is one served query's metric record.
@@ -30,21 +30,37 @@ type classAcc struct {
 	next     int
 }
 
-// Metrics is the server's per-SLO-class accounting: lifetime
-// served/rejected counters and batch occupancy, plus windowed
-// queue-wait and amortized-latency percentiles and the Graph 500
-// harmonic-mean TEPS per class. Safe for concurrent use.
+// graphAcc accumulates one registered graph's lifetime counters.
+type graphAcc struct {
+	queries      int64
+	batches      int64
+	occSum       int64
+	cacheHits    int64
+	cacheMisses  int64
+	coalesced    int64
+	deadlineShed int64
+}
+
+// Metrics is the server's accounting, per SLO class (lifetime
+// served/rejected counters, windowed queue-wait and amortized-latency
+// percentiles, Graph 500 harmonic-mean TEPS) and per registered graph
+// (batches, occupancy, cache hit/miss/coalesce, deadline sheds). Safe
+// for concurrent use.
 type Metrics struct {
 	mu      sync.Mutex
 	queries int64
 	batches int64
 	occSum  int64
 	classes map[string]*classAcc
+	graphs  map[string]*graphAcc
 }
 
 // NewMetrics returns an empty accumulator.
 func NewMetrics() *Metrics {
-	return &Metrics{classes: make(map[string]*classAcc)}
+	return &Metrics{
+		classes: make(map[string]*classAcc),
+		graphs:  make(map[string]*graphAcc),
+	}
 }
 
 func (m *Metrics) class(name string) *classAcc {
@@ -56,11 +72,50 @@ func (m *Metrics) class(name string) *classAcc {
 	return c
 }
 
-// RecordBatch records one dispatched batch's occupancy.
-func (m *Metrics) RecordBatch(occupancy int) {
+func (m *Metrics) graph(id string) *graphAcc {
+	g := m.graphs[id]
+	if g == nil {
+		g = &graphAcc{}
+		m.graphs[id] = g
+	}
+	return g
+}
+
+// EnsureGraph pre-registers a graph so it appears in snapshots before
+// any traffic reaches it.
+func (m *Metrics) EnsureGraph(id string) {
+	m.mu.Lock()
+	m.graph(id)
+	m.mu.Unlock()
+}
+
+// RecordBatch records one dispatched batch's occupancy on graph.
+func (m *Metrics) RecordBatch(graph string, occupancy int) {
 	m.mu.Lock()
 	m.batches++
 	m.occSum += int64(occupancy)
+	g := m.graph(graph)
+	g.batches++
+	g.occSum += int64(occupancy)
+	m.mu.Unlock()
+}
+
+// RecordCache records one result-cache lookup on graph.
+func (m *Metrics) RecordCache(graph string, hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.graph(graph).cacheHits++
+	} else {
+		m.graph(graph).cacheMisses++
+	}
+	m.mu.Unlock()
+}
+
+// RecordCoalesce records one query coalescing onto an in-queue
+// duplicate on graph.
+func (m *Metrics) RecordCoalesce(graph string) {
+	m.mu.Lock()
+	m.graph(graph).coalesced++
 	m.mu.Unlock()
 }
 
@@ -69,6 +124,7 @@ func (m *Metrics) Record(resp *Response) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.queries++
+	m.graph(resp.Graph).queries++
 	c := m.class(resp.Class)
 	c.served++
 	c.occSum += int64(resp.Occupancy)
@@ -90,10 +146,14 @@ func (m *Metrics) Record(resp *Response) {
 }
 
 // RecordReject counts one rejection for class (possibly "" when the
-// class itself was unknown) with the given reason.
-func (m *Metrics) RecordReject(class, reason string) {
+// class itself was unknown) on graph (possibly "" or unregistered when
+// the graph was unknown) with the given reason.
+func (m *Metrics) RecordReject(graph, class, reason string) {
 	m.mu.Lock()
 	m.class(class).rejected[reason]++
+	if reason == RejectDeadline {
+		m.graph(graph).deadlineShed++
+	}
 	m.mu.Unlock()
 }
 
@@ -118,6 +178,29 @@ type ClassSnapshot struct {
 	HarmonicMeanTEPS float64 `json:"harmonic_mean_teps"`
 }
 
+// GraphSnapshot is one registered graph's reported metrics. Counters
+// are lifetime; QueueLen, QueueDelayEstimateNs, and CacheEntries are
+// the live values at snapshot time (filled by Server.Metrics).
+type GraphSnapshot struct {
+	Graph         string  `json:"graph"`
+	Queries       int64   `json:"queries"`
+	Batches       int64   `json:"batches"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+	Coalesced    int64   `json:"coalesced"`
+	DeadlineShed int64   `json:"deadline_shed"`
+
+	QueueLen int `json:"queue_len"`
+	// QueueDelayEstimateNs is the server's current backpressure
+	// estimate for this graph: how long a query admitted now would
+	// wait, the figure queue_full rejections surface as Retry-After.
+	QueueDelayEstimateNs int64 `json:"queue_delay_estimate_ns"`
+}
+
 // Snapshot is the whole server's reported metrics.
 type Snapshot struct {
 	Queries       int64           `json:"queries"`
@@ -125,9 +208,11 @@ type Snapshot struct {
 	MeanOccupancy float64         `json:"mean_occupancy"`
 	Draining      bool            `json:"draining"`
 	Classes       []ClassSnapshot `json:"classes"`
+	Graphs        []GraphSnapshot `json:"graphs,omitempty"`
 }
 
-// Snapshot summarizes the current state; classes sort by name.
+// Snapshot summarizes the current state; classes and graphs sort by
+// name.
 func (m *Metrics) Snapshot(draining bool) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -173,6 +258,23 @@ func (m *Metrics) Snapshot(draining bool) Snapshot {
 	}
 	sort.Slice(snap.Classes, func(i, j int) bool {
 		return snap.Classes[i].Class < snap.Classes[j].Class
+	})
+	for id, g := range m.graphs {
+		gs := GraphSnapshot{
+			Graph: id, Queries: g.queries, Batches: g.batches,
+			CacheHits: g.cacheHits, CacheMisses: g.cacheMisses,
+			Coalesced: g.coalesced, DeadlineShed: g.deadlineShed,
+		}
+		if g.batches > 0 {
+			gs.MeanOccupancy = float64(g.occSum) / float64(g.batches)
+		}
+		if lookups := g.cacheHits + g.cacheMisses; lookups > 0 {
+			gs.CacheHitRate = float64(g.cacheHits) / float64(lookups)
+		}
+		snap.Graphs = append(snap.Graphs, gs)
+	}
+	sort.Slice(snap.Graphs, func(i, j int) bool {
+		return snap.Graphs[i].Graph < snap.Graphs[j].Graph
 	})
 	return snap
 }

@@ -83,8 +83,35 @@ func (p Priority) Less(a, b *Request, now time.Time) bool {
 	return a.seq < b.seq
 }
 
-// ParsePolicy maps a policy name ("fcfs", "sjf", "priority") to its
-// implementation; priority uses the given aging quantum.
+// Slack dispatches by time-to-deadline: deadline-carrying requests go
+// first, least slack (earliest deadline) leading, so the queries
+// closest to being shed are the ones a partial batch rescues. Every
+// request in a batch shares the same estimated service time, so
+// ordering by deadline is ordering by slack. Requests without
+// deadlines follow, by SLO-class priority then admission order — a
+// deadline is a stronger claim on the next batch than a tier.
+type Slack struct{}
+
+// Name returns "slack".
+func (Slack) Name() string { return "slack" }
+
+// Less orders deadline-carrying requests first by earliest deadline,
+// then deadline-free ones by class priority, then admission order.
+func (Slack) Less(a, b *Request, _ time.Time) bool {
+	aHas, bHas := !a.Deadline.IsZero(), !b.Deadline.IsZero()
+	switch {
+	case aHas != bHas:
+		return aHas
+	case aHas && !a.Deadline.Equal(b.Deadline):
+		return a.Deadline.Before(b.Deadline)
+	case a.Priority != b.Priority:
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+// ParsePolicy maps a policy name ("fcfs", "sjf", "priority", "slack")
+// to its implementation; priority uses the given aging quantum.
 func ParsePolicy(name string, aging time.Duration) (Policy, error) {
 	switch name {
 	case "fcfs":
@@ -93,6 +120,8 @@ func ParsePolicy(name string, aging time.Duration) (Policy, error) {
 		return SJF{}, nil
 	case "priority":
 		return Priority{Aging: aging}, nil
+	case "slack":
+		return Slack{}, nil
 	}
-	return nil, fmt.Errorf("serve: unknown policy %q (want fcfs, sjf or priority)", name)
+	return nil, fmt.Errorf("serve: unknown policy %q (want fcfs, sjf, priority or slack)", name)
 }

@@ -51,16 +51,29 @@ func (q *Queue) Len() int {
 // Depth returns the admission limit.
 func (q *Queue) Depth() int { return q.depth }
 
-// oldest returns the earliest enqueue time among pending requests.
-func (q *Queue) oldest() (time.Time, bool) {
+// due returns the earliest instant any pending request becomes due
+// for dispatch: the sooner of its max-wait expiry (Enqueued + maxWait,
+// when maxWait > 0) and its latest viable dispatch time (Deadline -
+// est, for deadline-carrying requests). With maxWait <= 0 and no
+// deadlines pending there is no due time — only full batches and
+// Flush drain the queue.
+func (q *Queue) due(maxWait, est time.Duration) (time.Time, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	var t time.Time
 	ok := false
-	for _, r := range q.pending {
-		if !ok || r.Enqueued.Before(t) {
-			t = r.Enqueued
+	earlier := func(c time.Time) {
+		if !ok || c.Before(t) {
+			t = c
 			ok = true
+		}
+	}
+	for _, r := range q.pending {
+		if maxWait > 0 {
+			earlier(r.Enqueued.Add(maxWait))
+		}
+		if !r.Deadline.IsZero() {
+			earlier(r.Deadline.Add(-est))
 		}
 	}
 	return t, ok

@@ -93,6 +93,58 @@ func TestPolicyOrdering(t *testing.T) {
 	}
 }
 
+func TestSlackOrdering(t *testing.T) {
+	// Slack dispatch: deadline carriers lead, earliest deadline first;
+	// the deadline-free tail orders by class priority, then admission.
+	q := NewQueue(16)
+	push(t, q, 0, "batch", 0, 1, t0) // no deadline, tier 0
+	push(t, q, 1, "interactive", 2, 1, t0).Deadline = t0.Add(80 * time.Millisecond)
+	push(t, q, 2, "interactive", 2, 1, t0) // no deadline, tier 2
+	push(t, q, 3, "batch", 0, 1, t0).Deadline = t0.Add(20 * time.Millisecond)
+	f := &Former{Queue: q, Policy: Slack{}, BatchMax: 4, MaxWait: time.Millisecond}
+	batch, _ := f.Next(t0.Add(10 * time.Millisecond))
+	// 3 (20ms deadline) before 1 (80ms), then 2 (tier 2) before 0.
+	if !eqSources(batch, []int64{3, 1, 2, 0}) {
+		t.Errorf("slack dispatch order %v, want [3 1 2 0]", sourcesOf(batch))
+	}
+}
+
+func TestFormerDeadlineDispatch(t *testing.T) {
+	// A pending deadline is the third dispatch trigger: with MaxWait
+	// far away, the former becomes due at Deadline - Est, and Next
+	// reports the exact remaining time until then.
+	q := NewQueue(16)
+	est := 10 * time.Millisecond
+	f := &Former{Queue: q, Policy: FCFS{}, BatchMax: 8,
+		MaxWait: time.Hour, Est: func() time.Duration { return est }}
+	push(t, q, 0, "x", 0, 1, t0)
+	push(t, q, 1, "x", 0, 1, t0).Deadline = t0.Add(30 * time.Millisecond)
+
+	// Latest viable dispatch is deadline - est = t0+20ms.
+	batch, wait := f.Next(t0)
+	if batch != nil {
+		t.Fatalf("dispatched %v before the deadline became due", sourcesOf(batch))
+	}
+	if want := 20 * time.Millisecond; wait != want {
+		t.Fatalf("remaining wait %v, want %v", wait, want)
+	}
+	// Wait mirrors Next without taking anything.
+	if w := f.Wait(t0); w != 20*time.Millisecond {
+		t.Fatalf("Wait %v, want 20ms", w)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Wait consumed the queue: %d pending", q.Len())
+	}
+	batch, _ = f.Next(t0.Add(20 * time.Millisecond))
+	if !eqSources(batch, []int64{0, 1}) {
+		t.Fatalf("deadline-due dispatch %v, want both pending", sourcesOf(batch))
+	}
+	// Empty queue: no due time, Wait reports zero.
+	if w := f.Wait(t0); w != 0 {
+		t.Fatalf("idle Wait %v, want 0", w)
+	}
+}
+
 func TestPriorityAgingNoStarvation(t *testing.T) {
 	// A batch-tier request admitted at t0 against a steady stream of
 	// fresh interactive arrivals: with Aging=10ms its effective
@@ -254,7 +306,7 @@ func TestFakeClock(t *testing.T) {
 }
 
 func TestParsePolicy(t *testing.T) {
-	for name, want := range map[string]string{"fcfs": "fcfs", "sjf": "sjf", "priority": "priority"} {
+	for name, want := range map[string]string{"fcfs": "fcfs", "sjf": "sjf", "priority": "priority", "slack": "slack"} {
 		p, err := ParsePolicy(name, time.Millisecond)
 		if err != nil || p.Name() != want {
 			t.Errorf("ParsePolicy(%q) = %v, %v", name, p, err)

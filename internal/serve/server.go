@@ -3,18 +3,41 @@ package serve
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	pbfs "repro"
 )
 
+// GraphConfig registers one named graph with the server: its own warm
+// session pool, queue, former, and result cache, so batches never mix
+// graphs and each graph's traffic amortizes independently.
+type GraphConfig struct {
+	// ID is the graph's registry key, the Query.GraphID that routes to
+	// it. Required and unique.
+	ID string
+	// Graph is the served graph; Options is the engine configuration
+	// every batch on it runs under (the layout fields select the
+	// cached engine each pool session builds once).
+	Graph   *pbfs.Graph
+	Options pbfs.Options
+	// Sessions is this graph's pbfs.SessionPool size: how many of its
+	// batches may execute concurrently (default Config.Sessions).
+	Sessions int
+}
+
 // Config configures a Server.
 type Config struct {
-	// Graph is the served graph; Options is the engine configuration
-	// every batch runs under (the layout fields select the cached
-	// engine each pool session builds once).
+	// Graphs is the v1 registry: the named graphs the server routes
+	// queries across. The first entry is the default graph (the one an
+	// empty Query.GraphID resolves to).
+	Graphs []GraphConfig
+
+	// Graph and Options are the deprecated single-graph configuration:
+	// when Graphs is empty, a non-nil Graph registers as the default
+	// graph under ID "default".
+	//
+	// Deprecated: use Graphs.
 	Graph   *pbfs.Graph
 	Options pbfs.Options
 
@@ -24,58 +47,63 @@ type Config struct {
 	BatchMax int
 	MaxWait  time.Duration
 
-	// QueueDepth bounds the pending queue; admission beyond it rejects
-	// with queue_full (default 4 * BatchMax).
+	// QueueDepth bounds each graph's pending queue; admission beyond
+	// it rejects with queue_full (default 4 * BatchMax).
 	QueueDepth int
 
 	// Policy orders dispatch (default FCFS).
 	Policy Policy
 
-	// Sessions is the pbfs.SessionPool size: how many batches may
-	// execute concurrently (default 1).
+	// Sessions is the default per-graph session pool size (default 1).
 	Sessions int
+
+	// CacheSize bounds each graph's hot-source result cache (LRU
+	// entries). Zero means DefaultCacheSize; negative disables caching.
+	CacheSize int
 
 	// Classes lists the accepted SLO classes (default DefaultClasses).
 	Classes []Class
 
-	// Clock stamps admissions and queue waits (default Wall). The
-	// serving loop's wakeups are real timers regardless; inject a
-	// FakeClock only when driving the Former directly.
+	// Clock stamps admissions, queue waits, and completions (default
+	// Wall). The serving loops' wakeups are real timers regardless;
+	// drive a FakeClock through a Harness for deterministic batching.
 	Clock Clock
 }
 
 // Server is the batching BFS query server: admitted queries flow
-// queue → former → session pool, every batch is one bit-parallel
-// MS-BFS traversal, and each rider receives its own distance vector
-// plus its amortized share of the batch's clock.
+// cache → queue → former → session pool on their target graph, every
+// batch is one bit-parallel MS-BFS traversal of a single graph, and
+// each rider receives its own distance vector plus its amortized share
+// of the batch's clock.
 type Server struct {
 	cfg     Config
 	classes map[string]Class
 	clock   Clock
-	q       *Queue
-	former  *Former
-	pool    *pbfs.SessionPool
 	metrics *Metrics
+
+	workers map[string]*graphWorker
+	order   []string // registration order; order[0] is the default graph
 
 	ids      atomic.Uint64
 	batchIDs atomic.Uint64
 	draining atomic.Bool
-
-	arrived  chan struct{}
-	quit     chan struct{}
-	loopDone chan struct{}
-	execWG   sync.WaitGroup
-
-	closeOnce sync.Once
+	stopped  chan struct{}
 }
 
-// New validates cfg, applies defaults, and starts the serving loop.
+// New validates cfg, applies defaults, warms every graph's session
+// pool, and starts the serving loops.
 func New(cfg Config) (*Server, error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("serve: nil graph")
-	}
-	if cfg.Graph.NumVerts() < 1 {
-		return nil, fmt.Errorf("serve: empty graph")
+	return newServer(cfg, true)
+}
+
+// newServer builds the server; start=false skips the forming loops
+// (the Harness pumps batches synchronously instead).
+func newServer(cfg Config, start bool) (*Server, error) {
+	if len(cfg.Graphs) == 0 {
+		if cfg.Graph == nil {
+			return nil, fmt.Errorf("serve: no graphs registered")
+		}
+		cfg.Graphs = []GraphConfig{{ID: "default", Graph: cfg.Graph, Options: cfg.Options}}
 	}
 	if cfg.BatchMax < 1 || cfg.BatchMax > pbfs.BatchWidth {
 		cfg.BatchMax = pbfs.BatchWidth
@@ -92,6 +120,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Sessions < 1 {
 		cfg.Sessions = 1
 	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
 	if len(cfg.Classes) == 0 {
 		cfg.Classes = DefaultClasses()
 	}
@@ -99,92 +130,125 @@ func New(cfg Config) (*Server, error) {
 		cfg.Clock = Wall
 	}
 	s := &Server{
-		cfg:      cfg,
-		classes:  make(map[string]Class, len(cfg.Classes)),
-		clock:    cfg.Clock,
-		q:        NewQueue(cfg.QueueDepth),
-		pool:     pbfs.NewSessionPool(cfg.Sessions),
-		metrics:  NewMetrics(),
-		arrived:  make(chan struct{}, 1),
-		quit:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		cfg:     cfg,
+		classes: make(map[string]Class, len(cfg.Classes)),
+		clock:   cfg.Clock,
+		metrics: NewMetrics(),
+		workers: make(map[string]*graphWorker, len(cfg.Graphs)),
+		stopped: make(chan struct{}),
 	}
 	for _, c := range cfg.Classes {
 		s.classes[c.Name] = c
 	}
-	s.former = &Former{
-		Queue: s.q, Policy: cfg.Policy,
-		BatchMax: cfg.BatchMax, MaxWait: cfg.MaxWait,
+	for _, gc := range cfg.Graphs {
+		if gc.ID == "" {
+			return nil, fmt.Errorf("serve: graph with empty ID")
+		}
+		if _, dup := s.workers[gc.ID]; dup {
+			return nil, fmt.Errorf("serve: duplicate graph ID %q", gc.ID)
+		}
+		if gc.Graph == nil || gc.Graph.NumVerts() < 1 {
+			return nil, fmt.Errorf("serve: graph %q is nil or empty", gc.ID)
+		}
+		if gc.Sessions < 1 {
+			gc.Sessions = cfg.Sessions
+		}
+		w := newGraphWorker(s, gc, cfg.BatchMax, cfg.MaxWait,
+			cfg.QueueDepth, cfg.Policy, cfg.CacheSize)
+		// Warm every pool session with a one-source batch:
+		// configuration errors (unknown machine, unfactorable grid)
+		// surface here instead of on the first query, and each session
+		// pays its one graph distribution before traffic arrives.
+		for i := 0; i < gc.Sessions; i++ {
+			sess := w.pool.Get()
+			_, err := sess.BFSBatch(gc.Graph, []int64{0}, gc.Options)
+			w.pool.Put(sess)
+			if err != nil {
+				w.pool.Close()
+				for _, id := range s.order {
+					s.workers[id].pool.Close()
+				}
+				return nil, fmt.Errorf("serve: graph %q options rejected: %w", gc.ID, err)
+			}
+		}
+		s.workers[gc.ID] = w
+		s.order = append(s.order, gc.ID)
+		s.metrics.EnsureGraph(gc.ID)
 	}
-	// Warm every pool session with a one-source batch: configuration
-	// errors (unknown machine, unfactorable grid) surface here instead
-	// of on the first query, and each session pays its one graph
-	// distribution before traffic arrives.
-	for i := 0; i < cfg.Sessions; i++ {
-		sess := s.pool.Get()
-		_, err := sess.BFSBatch(cfg.Graph, []int64{0}, cfg.Options)
-		s.pool.Put(sess)
-		if err != nil {
-			s.pool.Close()
-			return nil, fmt.Errorf("serve: options rejected: %w", err)
+	if start {
+		for _, id := range s.order {
+			s.workers[id].start()
 		}
 	}
-	go s.loop()
 	return s, nil
 }
 
-// Submit admits one query and returns the channel its Response will
-// arrive on (exactly one Response per admitted query, even across
-// shutdown). Admission failures return a RejectError immediately.
-func (s *Server) Submit(source int64, class string) (<-chan *Response, error) {
-	cl, ok := s.classes[class]
+// worker resolves a Query's target graph ("" means the default graph).
+func (s *Server) worker(graphID string) (*graphWorker, bool) {
+	if graphID == "" {
+		graphID = s.order[0]
+	}
+	w, ok := s.workers[graphID]
+	return w, ok
+}
+
+// SubmitQuery admits one v1 query and returns the channel its Response
+// will arrive on (exactly one Response per admitted query, even across
+// shutdown; cache hits are answered immediately). Admission failures —
+// unknown graph or class, out-of-range source, unmeetable deadline,
+// full queue, draining — return a *RejectError and nothing is queued.
+func (s *Server) SubmitQuery(q Query) (<-chan *Response, error) {
+	if q.Class == "" {
+		q.Class = DefaultClass
+	}
+	cl, ok := s.classes[q.Class]
 	if !ok {
-		s.metrics.RecordReject(class, RejectBadClass)
+		s.metrics.RecordReject(q.GraphID, q.Class, RejectBadClass)
 		return nil, &RejectError{Reason: RejectBadClass}
 	}
-	if source < 0 || source >= s.cfg.Graph.NumVerts() {
-		s.metrics.RecordReject(class, RejectBadSource)
+	w, ok := s.worker(q.GraphID)
+	if !ok {
+		s.metrics.RecordReject(q.GraphID, q.Class, RejectBadGraph)
+		return nil, &RejectError{Reason: RejectBadGraph}
+	}
+	if q.Source < 0 || q.Source >= w.graph.NumVerts() {
+		s.metrics.RecordReject(w.id, q.Class, RejectBadSource)
 		return nil, &RejectError{Reason: RejectBadSource}
 	}
 	if s.draining.Load() {
-		s.metrics.RecordReject(class, RejectDraining)
+		s.metrics.RecordReject(w.id, q.Class, RejectDraining)
 		return nil, &RejectError{Reason: RejectDraining}
 	}
 	req := &Request{
 		ID:       s.ids.Add(1),
-		Source:   source,
-		Class:    class,
+		Graph:    w.id,
+		Source:   q.Source,
+		Class:    q.Class,
 		Priority: cl.Priority,
-		Est:      s.cfg.Graph.Degree(source),
+		Est:      w.graph.Degree(q.Source),
 		Enqueued: s.clock.Now(),
+		Deadline: q.Deadline,
 		done:     make(chan *Response, 1),
 	}
-	if err := s.q.Push(req); err != nil {
-		s.metrics.RecordReject(class, RejectQueueFull)
+	if err := w.submit(req, req.Enqueued, q.NoCache); err != nil {
 		return nil, err
 	}
 	// If the server began draining while we were pushing, the loop's
 	// flush may already have passed; the straggler sweep in Shutdown
 	// answers anything still queued, so the request is never dropped.
-	select {
-	case s.arrived <- struct{}{}:
-	default:
-	}
 	return req.done, nil
 }
 
-// Query is Submit plus the wait: it blocks until the query is served,
-// rejected (returned as a RejectError), or ctx is done.
-func (s *Server) Query(ctx context.Context, source int64, class string) (*Response, error) {
-	ch, err := s.Submit(source, class)
+// Do is SubmitQuery plus the wait: it blocks until the query is served
+// (returning the Response), not served (returning the Response's Err —
+// a *RejectError for rejections), or ctx is done.
+func (s *Server) Do(ctx context.Context, q Query) (*Response, error) {
+	ch, err := s.SubmitQuery(q)
 	if err != nil {
 		return nil, err
 	}
 	select {
 	case resp := <-ch:
-		if resp.Rejected != "" {
-			return nil, &RejectError{Reason: resp.Rejected}
-		}
 		if resp.Err != nil {
 			return nil, resp.Err
 		}
@@ -194,130 +258,77 @@ func (s *Server) Query(ctx context.Context, source int64, class string) (*Respon
 	}
 }
 
-// Metrics returns the current per-class metrics snapshot.
-func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot(s.draining.Load()) }
+// Submit admits one query against the default graph.
+//
+// Deprecated: build a Query and use SubmitQuery.
+func (s *Server) Submit(source int64, class string) (<-chan *Response, error) {
+	return s.SubmitQuery(Query{Source: source, Class: class})
+}
+
+// Query runs one query against the default graph and waits for it.
+//
+// Deprecated: build a Query and use Do.
+func (s *Server) Query(ctx context.Context, source int64, class string) (*Response, error) {
+	return s.Do(ctx, Query{Source: source, Class: class})
+}
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	ID       string `json:"id"`
+	Default  bool   `json:"default"`
+	Vertices int64  `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Sessions int    `json:"sessions"`
+	QueueLen int    `json:"queue_len"`
+}
+
+// Graphs lists the registered graphs in registration order.
+func (s *Server) Graphs() []GraphInfo {
+	out := make([]GraphInfo, 0, len(s.order))
+	for i, id := range s.order {
+		w := s.workers[id]
+		out = append(out, GraphInfo{
+			ID: id, Default: i == 0,
+			Vertices: w.graph.NumVerts(), Edges: w.graph.NumEdges(),
+			Sessions: w.pool.Size(), QueueLen: w.q.Len(),
+		})
+	}
+	return out
+}
+
+// Metrics returns the current per-class and per-graph metrics
+// snapshot.
+func (s *Server) Metrics() Snapshot {
+	snap := s.metrics.Snapshot(s.draining.Load())
+	for i := range snap.Graphs {
+		if w, ok := s.workers[snap.Graphs[i].Graph]; ok {
+			snap.Graphs[i].QueueLen = w.q.Len()
+			snap.Graphs[i].QueueDelayEstimateNs = w.queueDelay().Nanoseconds()
+			_, _, snap.Graphs[i].CacheEntries = w.cache.stats()
+		}
+	}
+	return snap
+}
 
 // Draining reports whether the server has begun shutting down.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Shutdown drains gracefully: admission stops (new Submits reject with
-// draining), the pending queue flushes through the former as final
-// batches, in-flight batches finish, and any straggler admitted during
-// the race receives a draining rejection. Every admitted query gets
-// exactly one Response. Shutdown is idempotent and returns when the
-// server is fully stopped.
+// Shutdown drains gracefully: admission stops (new submissions reject
+// with draining), every graph's pending queue flushes through its
+// former as final batches, in-flight batches finish, and any straggler
+// admitted during the race receives a draining rejection. Every
+// admitted query gets exactly one Response. Shutdown is idempotent and
+// returns when the server is fully stopped.
 func (s *Server) Shutdown() {
-	s.draining.Store(true)
-	s.closeOnce.Do(func() { close(s.quit) })
-	<-s.loopDone
-	s.execWG.Wait()
-	// Straggler sweep: a Submit that passed the draining check before
-	// the store but pushed after the loop's final flush is still
-	// queued; answer it rather than dropping it.
-	for _, req := range s.q.drain() {
-		s.metrics.RecordReject(req.Class, RejectDraining)
-		req.done <- &Response{
-			ID: req.ID, Source: req.Source, Class: req.Class,
-			Rejected: RejectDraining,
-		}
-	}
-	s.pool.Close()
-}
-
-// loop is the serving loop: it forms batches as the rule allows,
-// sleeps until the next deadline or arrival otherwise, and on quit
-// flushes the queue as final batches.
-func (s *Server) loop() {
-	defer close(s.loopDone)
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	defer timer.Stop()
-	for {
-		batch, wait := s.former.Next(s.clock.Now())
-		if batch != nil {
-			s.dispatch(batch)
-			continue
-		}
-		var deadline <-chan time.Time
-		if wait > 0 {
-			timer.Reset(wait)
-			deadline = timer.C
-		}
-		select {
-		case <-s.arrived:
-		case <-deadline:
-			continue
-		case <-s.quit:
-			for _, b := range s.former.Flush(s.clock.Now()) {
-				s.dispatch(b)
-			}
-			return
-		}
-		if wait > 0 && !timer.Stop() {
-			<-timer.C
-		}
-	}
-}
-
-// dispatch runs one batch on a pooled session. The pool bounds
-// concurrency: with K sessions at most K batches execute at once, and
-// the (K+1)-th dispatch blocks in Get inside its goroutine without
-// stalling the forming loop.
-func (s *Server) dispatch(batch []*Request) {
-	s.execWG.Add(1)
-	go func() {
-		defer s.execWG.Done()
-		sess := s.pool.Get()
-		defer s.pool.Put(sess)
-		s.execute(sess, batch)
-	}()
-}
-
-// execute runs the batch's sources as one MS-BFS traversal and
-// completes every rider with its plane of the result.
-func (s *Server) execute(sess *pbfs.Session, batch []*Request) {
-	id := s.batchIDs.Add(1)
-	now := s.clock.Now()
-	sources := make([]int64, len(batch))
-	for i, req := range batch {
-		sources[i] = req.Source
-	}
-	br, err := sess.BFSBatch(s.cfg.Graph, sources, s.cfg.Options)
-	if err != nil {
-		for _, req := range batch {
-			req.done <- &Response{
-				ID: req.ID, Source: req.Source, Class: req.Class, Err: err,
-			}
-		}
+	if s.draining.Swap(true) {
+		<-s.stopped
 		return
 	}
-	s.metrics.RecordBatch(len(batch))
-	for i, req := range batch {
-		r := br.Results[i]
-		resp := &Response{
-			ID: req.ID, Source: req.Source, Class: req.Class,
-			Dist: r.Dist, Parent: r.Parent,
-			Levels: r.Levels, Reached: reachedCount(r.Dist),
-			Batch: id, Occupancy: len(batch),
-			QueueWait:      now.Sub(req.Enqueued),
-			SimTime:        r.SimTime,
-			TEPS:           r.TEPS(),
-			TraversedEdges: r.TraversedEdges,
-		}
-		s.metrics.Record(resp)
-		req.done <- resp
+	for _, id := range s.order {
+		close(s.workers[id].quit)
 	}
-}
-
-// reachedCount counts the vertices the search reached.
-func reachedCount(dist []int64) int64 {
-	var n int64
-	for _, d := range dist {
-		if d != pbfs.Unreached {
-			n++
-		}
+	for _, id := range s.order {
+		s.workers[id].stop()
 	}
-	return n
+	close(s.stopped)
 }

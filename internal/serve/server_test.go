@@ -197,7 +197,7 @@ func TestServerShutdownUnderLoad(t *testing.T) {
 				}
 				select {
 				case resp := <-ch:
-					if resp.Rejected != "" {
+					if resp.Reject() != nil {
 						flushed.add()
 					} else if resp.Err != nil {
 						t.Errorf("batch error: %v", resp.Err)
@@ -283,7 +283,7 @@ func TestServerAdmissionRejections(t *testing.T) {
 	for i, ch := range []<-chan *Response{ch1, ch2} {
 		select {
 		case resp := <-ch:
-			if resp.Rejected != "" || resp.Err != nil {
+			if resp.Err != nil {
 				t.Errorf("flushed query %d not served: %+v", i, resp)
 			}
 		case <-time.After(30 * time.Second):
@@ -371,5 +371,117 @@ func TestHTTPErrors(t *testing.T) {
 	r.Body.Close()
 	if out.Class != "standard" || out.Dist != nil {
 		t.Errorf("default-class response %+v: want class standard, no dist vector", out)
+	}
+}
+
+func TestHTTPV1Surface(t *testing.T) {
+	// The versioned API over two registered graphs: /v1/graphs lists
+	// the registry, /v1/query routes by graph ID (and flags cache
+	// hits), /v1/metrics reports per-graph accounting, and the legacy
+	// unversioned paths alias their successors behind a Deprecation
+	// header.
+	big, err := pbfs.NewRMATGraph(7, 8, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := pbfs.NewRMATGraph(6, 8, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := pbfs.Options{Algorithm: pbfs.OneDFlat, Ranks: 4}
+	srv, err := New(Config{
+		Graphs: []GraphConfig{
+			{ID: "big", Graph: big, Options: opt},
+			{ID: "small", Graph: small, Options: opt},
+		},
+		MaxWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []GraphInfo
+	if err := json.NewDecoder(r.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.Header.Get("Deprecation") != "" {
+		t.Error("/v1/graphs carries a Deprecation header")
+	}
+	if len(infos) != 2 || infos[0].ID != "big" || !infos[0].Default || infos[1].Default {
+		t.Fatalf("graphs listing %+v", infos)
+	}
+	if infos[1].Vertices != small.NumVerts() {
+		t.Errorf("small vertices %d, want %d", infos[1].Vertices, small.NumVerts())
+	}
+
+	// Route to the non-default graph; the dist vector is sized for it.
+	post := func(qr QueryRequest) (*http.Response, QueryResponse) {
+		t.Helper()
+		body, _ := json.Marshal(qr)
+		r, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out QueryResponse
+		if r.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.Body.Close()
+		return r, out
+	}
+	r, out := post(QueryRequest{Graph: "small", Source: 3, Dist: true})
+	if r.StatusCode != http.StatusOK || out.Graph != "small" {
+		t.Fatalf("small query status %d resp %+v", r.StatusCode, out)
+	}
+	if int64(len(out.Dist)) != small.NumVerts() {
+		t.Fatalf("small dist length %d, want %d", len(out.Dist), small.NumVerts())
+	}
+	ref := small.SerialBFS(3).Dist
+	for v := range ref {
+		if out.Dist[v] != ref[v] {
+			t.Fatalf("dist[%d] = %d, serial reference %d", v, out.Dist[v], ref[v])
+		}
+	}
+	// The repeat is a cache hit, flagged on the wire and in the
+	// per-graph metrics.
+	if r, out = post(QueryRequest{Graph: "small", Source: 3}); !out.Cached {
+		t.Errorf("repeat query status %d not flagged cached: %+v", r.StatusCode, out)
+	}
+	if r, _ = post(QueryRequest{Graph: "nope", Source: 0}); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown graph status %d, want 404", r.StatusCode)
+	}
+
+	// Legacy aliases answer with Deprecation plus a successor Link and
+	// the same payload shape as /v1/.
+	r, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.Get("Deprecation") != "true" ||
+		r.Header.Get("Link") != `</v1/metrics>; rel="successor-version"` {
+		t.Errorf("legacy /metrics headers %v", r.Header)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(snap.Graphs) != 2 {
+		t.Fatalf("metrics graphs %+v, want both registered graphs", snap.Graphs)
+	}
+	for _, gs := range snap.Graphs {
+		if gs.Graph == "small" && gs.CacheHits < 1 {
+			t.Errorf("small graph cache hits %d after the repeat query", gs.CacheHits)
+		}
 	}
 }

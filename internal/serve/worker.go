@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pbfs "repro"
+)
+
+// graphWorker is one registered graph's serving pipeline: its own
+// result cache, single-flight table, bounded queue, batch former, and
+// session pool. Batches never mix graphs because every graph forms its
+// own; the Server fans admissions out to workers by graph ID and each
+// worker runs its own forming loop.
+type graphWorker struct {
+	s     *Server
+	id    string
+	graph *pbfs.Graph
+	opt   pbfs.Options
+
+	q      *Queue
+	former *Former
+	pool   *pbfs.SessionPool
+	cache  *planeCache
+
+	// estServeNs is the EWMA of recent batches' simulated machine time
+	// in nanoseconds — the deterministic service-time estimate deadline
+	// admission, dispatch shedding, and the Retry-After hint all price
+	// against. Zero until the first sim-carrying batch completes (and
+	// forever, without a Machine profile, in which case only deadlines
+	// already in the past shed).
+	estServeNs atomic.Int64
+
+	// mu guards flights: source → queued leader request that duplicate
+	// arrivals for the same source coalesce onto. An entry exists only
+	// while its leader is in the queue; dispatch removes it, so later
+	// duplicates start a fresh flight (in-queue single-flight).
+	mu      sync.Mutex
+	flights map[int64]*Request
+
+	// Loop plumbing; started is false for Harness-driven workers, whose
+	// batches are pumped synchronously instead.
+	started  bool
+	arrived  chan struct{}
+	quit     chan struct{}
+	loopDone chan struct{}
+	execWG   sync.WaitGroup
+}
+
+// newGraphWorker builds one graph's pipeline from its resolved
+// configuration; the caller warms the pool and starts the loop.
+func newGraphWorker(s *Server, gc GraphConfig, batchMax int, maxWait time.Duration,
+	queueDepth int, policy Policy, cacheSize int) *graphWorker {
+	w := &graphWorker{
+		s: s, id: gc.ID, graph: gc.Graph, opt: gc.Options,
+		q:        NewQueue(queueDepth),
+		pool:     pbfs.NewSessionPool(gc.Sessions),
+		cache:    newPlaneCache(cacheSize),
+		flights:  make(map[int64]*Request),
+		arrived:  make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	w.former = &Former{
+		Queue: w.q, Policy: policy,
+		BatchMax: batchMax, MaxWait: maxWait,
+		Est: w.estServe,
+	}
+	return w
+}
+
+// estServe returns the current batch-service-time estimate.
+func (w *graphWorker) estServe() time.Duration {
+	return time.Duration(w.estServeNs.Load())
+}
+
+// observeServe folds one completed batch's simulated seconds into the
+// service-time EWMA (weight 1/4 to the new observation).
+func (w *graphWorker) observeServe(simSeconds float64) {
+	obs := int64(simSeconds * 1e9)
+	if obs <= 0 {
+		return
+	}
+	for {
+		old := w.estServeNs.Load()
+		next := obs
+		if old > 0 {
+			next = (3*old + obs) / 4
+		}
+		if w.estServeNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// queueDelay estimates how long a request admitted now would wait
+// before its batch completes: the dispatch cycles ahead of it (queue
+// length over the batch width, at least one) times the estimated
+// service time, plus the former's max wait for the cycle it joins.
+// This is the Retry-After hint queue_full rejections carry and the
+// queue_delay_estimate_ns the metrics surface.
+func (w *graphWorker) queueDelay() time.Duration {
+	width := w.former.width()
+	cycles := (w.q.Len() + width - 1) / width
+	if cycles < 1 {
+		cycles = 1
+	}
+	d := time.Duration(cycles) * w.estServe()
+	if w.former.MaxWait > 0 {
+		d += w.former.MaxWait
+	}
+	return d
+}
+
+// submit runs the worker-local admission path at now: deadline
+// feasibility, cache lookup, single-flight coalescing, then the
+// bounded queue. The request's done channel is answered immediately on
+// a cache hit; admission failures return a *RejectError and the
+// request is never queued.
+func (w *graphWorker) submit(req *Request, now time.Time, noCache bool) error {
+	m := w.s.metrics
+	if !req.Deadline.IsZero() && now.Add(w.estServe()).After(req.Deadline) {
+		m.RecordReject(w.id, req.Class, RejectDeadline)
+		return &RejectError{Reason: RejectDeadline}
+	}
+	if !noCache {
+		if p, ok := w.cache.get(req.Source); ok {
+			m.RecordCache(w.id, true)
+			resp := w.respondPlane(req, p, p.Batch, p.Occupancy(), now, true, false)
+			m.Record(resp)
+			return nil
+		}
+		m.RecordCache(w.id, false)
+	}
+	w.mu.Lock()
+	if leader, ok := w.flights[req.Source]; ok {
+		leader.riders = append(leader.riders, req)
+		w.mu.Unlock()
+		m.RecordCoalesce(w.id)
+		return nil
+	}
+	if err := w.q.Push(req); err != nil {
+		w.mu.Unlock()
+		if rej, ok := AsReject(err); ok && rej.Reason == RejectQueueFull {
+			rej.RetryAfter = w.queueDelay()
+		}
+		m.RecordReject(w.id, req.Class, RejectQueueFull)
+		return err
+	}
+	w.flights[req.Source] = req
+	w.mu.Unlock()
+	if w.started {
+		select {
+		case w.arrived <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// runBatch executes one formed batch at dispatch time now: coalesced
+// riders are resolved, unmeetable deadlines shed, the surviving
+// sources traverse as one MS-BFS batch on a pooled session, and every
+// attached request receives exactly one response. It is called
+// synchronously by the Harness and from dispatch goroutines by the
+// serving loop.
+func (w *graphWorker) runBatch(batch []*Request, now time.Time) {
+	m := w.s.metrics
+	// Resolve the single-flight table: everything attached up to this
+	// instant rides; later duplicates start a fresh flight.
+	groups := make([][]*Request, len(batch))
+	w.mu.Lock()
+	for i, leader := range batch {
+		if w.flights[leader.Source] == leader {
+			delete(w.flights, leader.Source)
+		}
+		groups[i] = append([]*Request{leader}, leader.riders...)
+		leader.riders = nil
+	}
+	w.mu.Unlock()
+
+	// Deadline shed: a request that cannot complete by its deadline —
+	// dispatch now plus the estimated service time — is answered with
+	// RejectDeadline instead of being served late. A source stays in
+	// the traversal as long as any attached request survives.
+	est := w.estServe()
+	sources := make([]int64, 0, len(batch))
+	live := make([][]*Request, 0, len(batch))
+	for _, reqs := range groups {
+		keep := reqs[:0]
+		for _, r := range reqs {
+			if !r.Deadline.IsZero() && now.Add(est).After(r.Deadline) {
+				m.RecordReject(w.id, r.Class, RejectDeadline)
+				r.done <- &Response{
+					ID: r.ID, Graph: w.id, Source: r.Source, Class: r.Class,
+					Err: &RejectError{Reason: RejectDeadline},
+				}
+				continue
+			}
+			keep = append(keep, r)
+		}
+		if len(keep) > 0 {
+			sources = append(sources, keep[0].Source)
+			live = append(live, keep)
+		}
+	}
+	if len(sources) == 0 {
+		return
+	}
+
+	sess := w.pool.Get()
+	br, err := sess.BFSBatch(w.graph, sources, w.opt)
+	w.pool.Put(sess)
+	if err != nil {
+		for _, reqs := range live {
+			for _, r := range reqs {
+				r.done <- &Response{
+					ID: r.ID, Graph: w.id, Source: r.Source, Class: r.Class, Err: err,
+				}
+			}
+		}
+		return
+	}
+	id := w.s.batchIDs.Add(1)
+	done := w.s.clock.Now()
+	w.observeServe(br.SimTime)
+	m.RecordBatch(w.id, len(sources))
+	for i, reqs := range live {
+		r := br.Results[i]
+		p := plane{
+			Dist: r.Dist, Parent: r.Parent,
+			Levels: r.Levels, Reached: reachedCount(r.Dist),
+			TraversedEdges: r.TraversedEdges,
+			SimTime:        r.SimTime, TEPS: r.TEPS(),
+			Batch: id,
+		}
+		w.cache.put(sources[i], p)
+		for j, req := range reqs {
+			resp := w.respondPlane(req, p, id, len(sources), done, false, j > 0)
+			m.Record(resp)
+		}
+	}
+}
+
+// respondPlane completes req with plane p and delivers the response on
+// its done channel.
+func (w *graphWorker) respondPlane(req *Request, p plane, batch uint64, occupancy int,
+	done time.Time, cached, coalesced bool) *Response {
+	resp := &Response{
+		ID: req.ID, Graph: w.id, Source: req.Source, Class: req.Class,
+		Dist: p.Dist, Parent: p.Parent,
+		Levels: p.Levels, Reached: p.Reached,
+		Batch: batch, Occupancy: occupancy,
+		Cached: cached, Coalesced: coalesced,
+		QueueWait: done.Sub(req.Enqueued),
+		Completed: done,
+		SimTime:   p.SimTime, TEPS: p.TEPS,
+		TraversedEdges: p.TraversedEdges,
+	}
+	req.done <- resp
+	return resp
+}
+
+// Occupancy reports the batch width a cached plane is answered at: a
+// hit rides no batch, so it serves alone.
+func (plane) Occupancy() int { return 1 }
+
+// start launches the worker's forming loop.
+func (w *graphWorker) start() {
+	w.started = true
+	go w.loop()
+}
+
+// loop is the worker's serving loop: it forms batches as the rule
+// allows, sleeps until the next due time or arrival otherwise, and on
+// quit flushes the queue as final batches.
+func (w *graphWorker) loop() {
+	defer close(w.loopDone)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		now := w.s.clock.Now()
+		batch, wait := w.former.Next(now)
+		if batch != nil {
+			w.dispatch(batch, now)
+			continue
+		}
+		var due <-chan time.Time
+		if wait > 0 {
+			timer.Reset(wait)
+			due = timer.C
+		}
+		select {
+		case <-w.arrived:
+		case <-due:
+			continue
+		case <-w.quit:
+			now := w.s.clock.Now()
+			for _, b := range w.former.Flush(now) {
+				w.dispatch(b, now)
+			}
+			return
+		}
+		if wait > 0 && !timer.Stop() {
+			<-timer.C
+		}
+	}
+}
+
+// dispatch runs one batch on a pooled session. The pool bounds
+// concurrency: with K sessions at most K batches execute at once, and
+// the (K+1)-th dispatch blocks in Get inside its goroutine without
+// stalling the forming loop.
+func (w *graphWorker) dispatch(batch []*Request, now time.Time) {
+	w.execWG.Add(1)
+	go func() {
+		defer w.execWG.Done()
+		w.runBatch(batch, now)
+	}()
+}
+
+// stop drains the worker: the loop (when started) flushes and exits,
+// in-flight batches finish, stragglers still queued are answered with
+// a draining rejection, and the pool closes.
+func (w *graphWorker) stop() {
+	if w.started {
+		<-w.loopDone
+	}
+	w.execWG.Wait()
+	for _, req := range w.drainStragglers() {
+		w.s.metrics.RecordReject(w.id, req.Class, RejectDraining)
+		req.done <- &Response{
+			ID: req.ID, Graph: w.id, Source: req.Source, Class: req.Class,
+			Err: &RejectError{Reason: RejectDraining},
+		}
+	}
+	w.pool.Close()
+}
+
+// drainStragglers empties the queue and resolves every drained
+// request's riders, clearing the flight table.
+func (w *graphWorker) drainStragglers() []*Request {
+	drained := w.q.drain()
+	var all []*Request
+	w.mu.Lock()
+	for _, leader := range drained {
+		if w.flights[leader.Source] == leader {
+			delete(w.flights, leader.Source)
+		}
+		all = append(all, leader)
+		all = append(all, leader.riders...)
+		leader.riders = nil
+	}
+	w.mu.Unlock()
+	return all
+}
+
+// reachedCount counts the vertices the search reached.
+func reachedCount(dist []int64) int64 {
+	var n int64
+	for _, d := range dist {
+		if d != pbfs.Unreached {
+			n++
+		}
+	}
+	return n
+}
+
+// ceilSeconds rounds a duration up to whole seconds (minimum 1), the
+// HTTP Retry-After currency.
+func ceilSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	return int(math.Ceil(d.Seconds()))
+}

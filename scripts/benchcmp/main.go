@@ -86,6 +86,27 @@ type probe struct {
 	ParallelEfficiency float64 `json:"parallel_efficiency"`
 }
 
+// serveGraph mirrors one registered graph's row in the v1 serving
+// probe: its batch occupancy is compared informationally per graph.
+type serveGraph struct {
+	Graph         string  `json:"graph"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+}
+
+// serveProbe mirrors the v1 multi-graph serving record (PR 9): a
+// deterministic Zipf query stream over two registered graphs through
+// the full admission path. Both rates derive from the simulated clock
+// and seeded arrivals, so they gate tightly: the cache hit rate
+// falling under its floor means hot-source caching stopped absorbing
+// Zipf repeats, and the deadline miss rate climbing over its ceiling
+// means deadline scheduling began shedding queries it used to serve in
+// time.
+type serveProbe struct {
+	CacheHitRate     float64      `json:"serve_cache_hit_rate"`
+	DeadlineMissRate float64      `json:"serve_deadline_miss_rate"`
+	Graphs           []serveGraph `json:"graphs"`
+}
+
 type report struct {
 	Scale   int       `json:"scale"`
 	Host    *hostInfo `json:"host"`
@@ -93,9 +114,10 @@ type report struct {
 	// HybridOverhead1D is the wall-clock 1d-hybrid/1d-flat ratio (the
 	// PR 1 single-core regression note); its trajectory is gated
 	// loosely because it shares the host with other CI jobs.
-	HybridOverhead1D float64 `json:"hybrid_overhead_1d"`
-	Parallel         *probe  `json:"parallel"`
-	Scale18          *probe  `json:"scale18"`
+	HybridOverhead1D float64     `json:"hybrid_overhead_1d"`
+	Parallel         *probe      `json:"parallel"`
+	Scale18          *probe      `json:"scale18"`
+	Serve            *serveProbe `json:"serve"`
 }
 
 // tolerances bound how far a candidate metric may drift from baseline.
@@ -123,6 +145,14 @@ type tolerances struct {
 	// record don't wedge CI.
 	serveFloor    float64
 	serveOccFloor float64
+	// serveHitRateFloor / serveMissRateCeil gate the v1 serving probe
+	// (simulated clock + seeded Zipf arrivals, so deterministic): the
+	// multi-graph cache hit rate must stay at or above the floor and
+	// the deadline miss rate at or below the ceiling. Each is enforced
+	// only when the baseline carries the probe and itself clears the
+	// same bound, so pre-v1 baselines don't wedge CI.
+	serveHitRateFloor float64
+	serveMissRateCeil float64
 	// parallelFloor is the parallel_efficiency floor, enforced only when
 	// the candidate host has more than one CPU (a single-core host runs
 	// both sides of the ratio on the same schedule, so its value carries
@@ -136,7 +166,9 @@ func defaultTolerances() tolerances {
 	return tolerances{
 		allocGrow: 0.25, allocSlack: 16, speedupDrop: 0.6, speedupFloor: 2,
 		overlapFloor: 0.999999, hybridGrow: 0.5, amortFloor: 2,
-		serveFloor: 1, serveOccFloor: 16, parallelFloor: 1.05,
+		serveFloor: 1, serveOccFloor: 16,
+		serveHitRateFloor: 0.25, serveMissRateCeil: 0.5,
+		parallelFloor: 1.05,
 	}
 }
 
@@ -215,6 +247,36 @@ func compare(base, cand *report, tol tolerances) []string {
 	}
 	if base.Scale18 != nil && cand.Scale18 == nil {
 		bad = append(bad, "scale18: probe record missing from candidate (scale-18 run no longer completes?)")
+	}
+	// v1 serving probe gate: the record must not vanish once the
+	// baseline carries it, the Zipf cache hit rate must hold its floor,
+	// the deadline miss rate its ceiling, and no baseline graph row may
+	// disappear. All simulated-clock metrics — deterministic, so no
+	// wall-clock slack.
+	if base.Serve != nil {
+		if cand.Serve == nil {
+			bad = append(bad, "serve: v1 serving probe record missing from candidate")
+		} else {
+			if base.Serve.CacheHitRate >= tol.serveHitRateFloor &&
+				cand.Serve.CacheHitRate < tol.serveHitRateFloor {
+				bad = append(bad, fmt.Sprintf("serve: serve_cache_hit_rate %.3f below the %.2f floor (baseline %.3f) — hot-source cache stopped absorbing Zipf repeats",
+					cand.Serve.CacheHitRate, tol.serveHitRateFloor, base.Serve.CacheHitRate))
+			}
+			if base.Serve.DeadlineMissRate <= tol.serveMissRateCeil &&
+				cand.Serve.DeadlineMissRate > tol.serveMissRateCeil {
+				bad = append(bad, fmt.Sprintf("serve: serve_deadline_miss_rate %.3f above the %.2f ceiling (baseline %.3f) — deadline scheduling sheds queries it used to serve in time",
+					cand.Serve.DeadlineMissRate, tol.serveMissRateCeil, base.Serve.DeadlineMissRate))
+			}
+			candGraphs := make(map[string]serveGraph, len(cand.Serve.Graphs))
+			for _, g := range cand.Serve.Graphs {
+				candGraphs[g.Graph] = g
+			}
+			for _, g := range base.Serve.Graphs {
+				if _, ok := candGraphs[g.Graph]; !ok {
+					bad = append(bad, fmt.Sprintf("serve: graph %q missing from candidate probe — multi-graph serving lost a registry entry", g.Graph))
+				}
+			}
+		}
 	}
 	if cand.Host != nil && cand.Host.NumCPU > 1 {
 		for _, pr := range []struct {

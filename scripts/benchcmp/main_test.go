@@ -306,6 +306,66 @@ func TestCompareParallelEfficiencyGate(t *testing.T) {
 	}
 }
 
+// TestCompareServeProbeGates covers the PR 9 additions: the v1 serving
+// probe's Zipf cache hit rate must hold its floor and its deadline
+// miss rate its ceiling, each enforced only when the baseline itself
+// cleared the same bound; the probe record (and each registered graph's
+// row) vanishing once the baseline carries it is a regression; a pre-v1
+// baseline (field absent, unmarshaling to nil) never wedges CI.
+func TestCompareServeProbeGates(t *testing.T) {
+	tol := defaultTolerances()
+	row := result{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188}
+	twoGraphs := []serveGraph{{Graph: "primary"}, {Graph: "secondary"}}
+	base := &report{Scale: 16, Results: []result{row},
+		Serve: &serveProbe{CacheHitRate: 0.8, DeadlineMissRate: 0.1, Graphs: twoGraphs}}
+
+	healthy := &report{Results: []result{row},
+		Serve: &serveProbe{CacheHitRate: 0.3, DeadlineMissRate: 0.4, Graphs: twoGraphs}}
+	if bad := compare(base, healthy, tol); len(bad) != 0 {
+		t.Fatalf("in-bounds serve probe flagged: %v", bad)
+	}
+
+	coldCache := &report{Results: []result{row},
+		Serve: &serveProbe{CacheHitRate: 0.1, DeadlineMissRate: 0.1, Graphs: twoGraphs}}
+	bad := compare(base, coldCache, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "serve_cache_hit_rate") {
+		t.Fatalf("collapsed cache hit rate not flagged: %v", bad)
+	}
+
+	shedding := &report{Results: []result{row},
+		Serve: &serveProbe{CacheHitRate: 0.8, DeadlineMissRate: 0.9, Graphs: twoGraphs}}
+	bad = compare(base, shedding, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "serve_deadline_miss_rate") {
+		t.Fatalf("blown deadline miss rate not flagged: %v", bad)
+	}
+
+	lostGraph := &report{Results: []result{row},
+		Serve: &serveProbe{CacheHitRate: 0.8, DeadlineMissRate: 0.1,
+			Graphs: []serveGraph{{Graph: "primary"}}}}
+	bad = compare(base, lostGraph, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "secondary") {
+		t.Fatalf("lost registry graph not flagged: %v", bad)
+	}
+
+	vanished := &report{Results: []result{row}}
+	bad = compare(base, vanished, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "serving probe record missing") {
+		t.Fatalf("vanished serve probe not flagged: %v", bad)
+	}
+
+	// Pre-v1 baseline, or one that never cleared the bounds itself:
+	// nothing new is enforced.
+	oldBase := &report{Scale: 16, Results: []result{row}}
+	if bad := compare(oldBase, coldCache, tol); len(bad) != 0 {
+		t.Fatalf("pre-v1 baseline enforced serve probe gates: %v", bad)
+	}
+	weakBase := &report{Scale: 16, Results: []result{row},
+		Serve: &serveProbe{CacheHitRate: 0.2, DeadlineMissRate: 0.6, Graphs: twoGraphs}}
+	if bad := compare(weakBase, shedding, tol); len(bad) != 0 {
+		t.Fatalf("out-of-bounds baseline enforced serve probe gates: %v", bad)
+	}
+}
+
 // TestWarnCrossHost: differing core counts between baseline and
 // candidate warn without failing — the wall-clock columns are not
 // directly comparable, but a laptop regenerating a CI-host baseline

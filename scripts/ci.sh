@@ -87,11 +87,17 @@ go test -race -run 'BFSBatch' .
 
 echo "== race smoke (batching query server) =="
 # The serving layer is the most goroutine-dense surface in the tree:
-# HTTP handlers push into the queue while the dispatch loop forms
-# batches and a session pool executes them, and Shutdown drains all
-# three at once. The full package runs under -race (it is fast), which
-# covers the shutdown-under-load test asserting no admitted request is
-# dropped without a response.
+# HTTP handlers push into per-graph queues while each graph's dispatch
+# loop forms batches, a session pool executes them, the result cache
+# and single-flight riders hand planes across goroutines, and Shutdown
+# drains all of it at once. The full package runs under -race (it is
+# fast), which covers the shutdown-under-load test asserting no
+# admitted request is dropped without a response, plus the v1
+# deterministic fake-clock suites: cache/coalesce/LRU semantics, the
+# closed rejection-reason set, deadline-aware dispatch, and the
+# 1024-query Zipf load test over two graphs (cross-graph isolation,
+# zero responses completed past their deadline, serial-oracle
+# distances).
 go test -race ./internal/serve
 
 echo "== bench smoke (BFS level loops, 1 iteration) =="
