@@ -24,6 +24,15 @@
 //
 //	bfsbench -bench-out BENCH_bfs.json -bench-scale 16
 //
+// With -counterfactual, it instead prints the decision-replay regret
+// table for the standard configurations: every per-level policy
+// decision of one traced search, replayed under each rejected
+// alternative, with the simulated-time regret. The table is fully
+// deterministic (identical bytes every run), which the CI smoke checks
+// by diffing two invocations:
+//
+//	bfsbench -counterfactual -bench-scale 10
+//
 // See EXPERIMENTS.md for the BENCH_bfs.json field reference.
 package main
 
@@ -44,7 +53,8 @@ func main() {
 		emulate    = flag.Bool("emulate", true, "also run the downscaled emulated experiments")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		benchOut   = flag.String("bench-out", "", "write wall-clock level-loop benchmarks to this JSON file (e.g. BENCH_bfs.json) and exit")
-		benchScale = flag.Int("bench-scale", 16, "R-MAT scale for -bench-out")
+		benchScale = flag.Int("bench-scale", 16, "R-MAT scale for -bench-out and -counterfactual")
+		counterfac = flag.Bool("counterfactual", false, "print the decision-replay regret table for the standard configurations at -bench-scale and exit (deterministic: identical output every run)")
 		overlap    = flag.Int("overlap", 4, "chunk count for the -bench-out overlapped-communication rows (<2 skips them)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
@@ -85,6 +95,13 @@ func main() {
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s  %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	if *counterfac {
+		if err := bench.CounterfactualTable(os.Stdout, *benchScale, 16, 0xbf); err != nil {
+			fatal(err)
 		}
 		return
 	}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/decis"
 	"repro/internal/graph500"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		direction  = flag.String("direction", "auto", "traversal policy: auto, topdown, bottomup")
 		overlap    = flag.Int("overlap", 0, "overlap communication with computation: chunk count K >= 2 for the nonblocking frontier exchange (0 = blocking)")
 		trace      = flag.Bool("trace", false, "print the per-level frontier profile")
+		traceDecis = flag.Bool("trace-decisions", false, "record each search's policy decisions, replay every rejected alternative (forced direction, chunk count, grid shape), and print the per-decision regret table; requires -machine")
 		batch      = flag.Bool("batch", false, "traverse all -sources searches as one bit-parallel multi-source batch (up to 64 per word) instead of sequentially")
 	)
 	flag.Parse()
@@ -108,6 +110,12 @@ func main() {
 		Machine: *machine, Kernel: *kernel, Direction: dir,
 		Overlap: *overlap, Trace: *trace,
 	}
+	if *traceDecis && *batch {
+		fatal(fmt.Errorf("-trace-decisions replays per-source searches; it cannot combine with -batch"))
+	}
+	if *traceDecis && *machine == "" {
+		fatal(fmt.Errorf("-trace-decisions needs -machine: without a cost model there is no regret to measure"))
+	}
 	if *batch {
 		runBatch(g, sess, keys, opt, *validate, *trace)
 		return
@@ -159,6 +167,11 @@ func main() {
 		}
 		if *validate {
 			fmt.Println("  validation       ok")
+		}
+		if *traceDecis {
+			if err := printDecisions(sess, g, src, opt); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if len(runs) > 1 {
@@ -233,6 +246,34 @@ func runBatch(g *pbfs.Graph, sess *pbfs.Session, keys []int64, opt pbfs.Options,
 			fmt.Printf("    %-10s %.6f s\n", tag, br.CommByPhase[tag])
 		}
 	}
+}
+
+// printDecisions replays the search's recorded policy decisions under
+// every rejected alternative (Session.Counterfactual) and prints the
+// regret table: how much simulated time each alternative would have
+// cost or saved. Replays assert bit-identical distances, so the table
+// is purely about the clock.
+func printDecisions(sess *pbfs.Session, g *pbfs.Graph, src int64, opt pbfs.Options) error {
+	rep, err := sess.Counterfactual(g, src, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  decision replay (%d decisions, %d counterfactuals, base %.6f s):\n",
+		len(rep.Decisions), len(rep.Replays), rep.BaseSim)
+	fmt.Printf("    %-10s %6s %-10s %-12s %14s %12s\n",
+		"decision", "level", "choice", "alternative", "alt-sim-s", "regret-s")
+	for _, cf := range rep.Replays {
+		fmt.Printf("    %-10s %6d %-10s %-12s %14.9f %+12.3e\n",
+			cf.Decision.Kind, cf.Decision.Level, cf.Decision.Choice,
+			cf.Alternative, cf.AltSim, cf.Regret)
+	}
+	worst := rep.MaxNegativeRegret()
+	for _, kind := range []decis.Kind{decis.KindDirection, decis.KindChunkK, decis.KindGrid} {
+		if w := worst[kind]; w < 0 {
+			fmt.Printf("    heuristic left %.3e s on the table (%s)\n", -w, kind)
+		}
+	}
+	return nil
 }
 
 // parseGrid parses a "PRxPC" grid-shape flag value; empty means derive

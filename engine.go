@@ -8,6 +8,7 @@ import (
 	"repro/internal/bfs1d"
 	"repro/internal/bfs2d"
 	"repro/internal/cluster"
+	"repro/internal/decis"
 	"repro/internal/dirheur"
 	"repro/internal/netmodel"
 	"repro/internal/spmat"
@@ -227,6 +228,20 @@ func newEngine(lay layout, g *Graph) (engine, error) {
 	return e, nil
 }
 
+// gridAlternatives lists the pr'×pc' factorizations of ranks the
+// closest-square derivation rejected, in ascending pr' order: the
+// candidate set a grid counterfactual replays and the tuner evaluates.
+func gridAlternatives(ranks, pr, pc int) []string {
+	var alts []string
+	for r := 1; r <= ranks; r++ {
+		if ranks%r != 0 || (r == pr && ranks/r == pc) {
+			continue
+		}
+		alts = append(alts, decis.GridChoice(r, ranks/r))
+	}
+	return alts
+}
+
 // fillTimes copies the world's per-search clock ledgers into the result.
 // Callers reset the world before each search, so the stats are exactly
 // that search's profile.
@@ -277,7 +292,7 @@ func (e *engine1D) search(source int64, opt Options) (*Result, error) {
 	out := bfs1d.Run(e.w, e.dg, source, bfs1d.Options{
 		Threads: e.lay.threads, LocalShortcut: true, DedupSends: true,
 		Direction: mode, Policy: policy, OverlapChunks: e.lay.overlap,
-		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
+		Price: e.price, Trace: opt.Trace, Force: opt.force, Arena: &e.arena,
 	})
 	res := &Result{Source: source}
 	res.Dist, res.Parent = out.Dist, out.Parent
@@ -286,6 +301,7 @@ func (e *engine1D) search(source int64, opt Options) (*Result, error) {
 	res.LevelFrontier = out.LevelFrontier
 	res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
 	res.LevelCommWords = out.LevelCommWords
+	res.Decisions = out.Decisions
 	fillTimes(res, e.w)
 	return res, nil
 }
@@ -348,7 +364,7 @@ func (e *engine2D) search(source int64, opt Options) (*Result, error) {
 	out, err := bfs2d.Run(e.w, e.grid, e.dg, source, bfs2d.Options{
 		Threads: e.lay.threads, Kernel: e.lay.kernel, Vector: e.vec,
 		Direction: mode, Policy: policy, OverlapChunks: e.lay.overlap,
-		Price: e.price, Trace: opt.Trace, Arena: &e.arena,
+		Price: e.price, Trace: opt.Trace, Force: opt.force, Arena: &e.arena,
 	})
 	if err != nil {
 		return nil, err
@@ -360,6 +376,19 @@ func (e *engine2D) search(source int64, opt Options) (*Result, error) {
 	res.LevelFrontier = out.LevelFrontier
 	res.LevelScanned, res.LevelBottomUp = out.LevelScanned, out.LevelBottomUp
 	res.LevelCommWords = out.LevelCommWords
+	res.Decisions = out.Decisions
+	if opt.Trace && opt.GridRows == 0 && opt.GridCols == 0 && !e.lay.diag {
+		// The grid shape was derived (cluster.ClosestSquare), so it was
+		// a decision of this library's, not the caller's: record it with
+		// the factorizations it rejected. A pinned dimension leaves no
+		// freedom (the other divides out, or the diagonal layout demands
+		// a square), so nothing is recorded — there were no alternatives.
+		res.Decisions = append(res.Decisions, decis.Decision{
+			Kind: decis.KindGrid, Ranks: int64(e.lay.ranks),
+			Choice:       decis.GridChoice(e.lay.pr, e.lay.pc),
+			Alternatives: gridAlternatives(e.lay.ranks, e.lay.pr, e.lay.pc),
+		})
+	}
 	fillTimes(res, e.w)
 	return res, nil
 }

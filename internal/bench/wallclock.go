@@ -107,6 +107,15 @@ type WallResult struct {
 	ServeOccupancy   float64 `json:"serve_batch_occupancy"`
 	ServeAmortizedNs float64 `json:"serve_amortized_ns"`
 	ServeSpeedup     float64 `json:"serve_speedup"`
+
+	// Auto-tuner record (PR 10): pbfs.Session.Tune run on this
+	// configuration with a 4-source probe — the counterfactual regrets
+	// of one recorded search turned into candidate settings, evaluated,
+	// and cached. TunedSpeedup is the defaults' probe time over the
+	// winner's; the defaults are always candidate 0 and ties keep them,
+	// so the field is >= 1 by construction (the benchcmp gate enforces
+	// the floor).
+	TunedSpeedup float64 `json:"tuned_speedup,omitempty"`
 }
 
 // parallelProbeScale is the big-instance probe the trajectory tracks:
@@ -324,6 +333,18 @@ func WallClock(scale, ef int, seed uint64, overlapChunks int) (*WallReport, erro
 			res.ServeSpeedup = res.SimSeconds * 1e9 / prof.amortizedSimNs
 		}
 
+		// The auto-tuner on the same warm session: candidate settings from
+		// one search's counterfactual regrets, scored on a 4-source probe.
+		probe := srcs
+		if len(probe) > 4 {
+			probe = probe[:4]
+		}
+		tuned, err := sess.Tune(g, opt, probe)
+		if err != nil {
+			return nil, err
+		}
+		res.TunedSpeedup = tuned.Speedup
+
 		// The amortized batch: the full Graph 500 search list through
 		// the warm session, against the same list through one-shot BFS
 		// calls that redistribute per search.
@@ -432,12 +453,13 @@ func (rep *WallReport) WriteJSON(path string, w io.Writer) error {
 			r.AmortizedPerSourceNs, r.BatchAmortization, r.MSBFSSimAmortization,
 			r.SimAmortizedPerSourceNs)
 	}
-	fmt.Fprintf(w, "\n%-10s %8s %8s %10s %16s %14s\n",
-		"config", "queries", "batches", "occupancy", "serve-amort-ns", "serve-speedup")
+	fmt.Fprintf(w, "\n%-10s %8s %8s %10s %16s %14s %14s\n",
+		"config", "queries", "batches", "occupancy", "serve-amort-ns", "serve-speedup",
+		"tuned-speedup")
 	for _, r := range rep.Results {
-		fmt.Fprintf(w, "%-10s %8d %8d %10.1f %16.0f %13.1fx\n",
+		fmt.Fprintf(w, "%-10s %8d %8d %10.1f %16.0f %13.1fx %13.3fx\n",
 			r.Config, r.ServeQueries, r.ServeBatches, r.ServeOccupancy,
-			r.ServeAmortizedNs, r.ServeSpeedup)
+			r.ServeAmortizedNs, r.ServeSpeedup, r.TunedSpeedup)
 	}
 	if rep.Serve != nil {
 		s := rep.Serve

@@ -3,6 +3,7 @@ package bfs1d
 import (
 	"repro/internal/bits"
 	"repro/internal/cluster"
+	"repro/internal/decis"
 	"repro/internal/dirheur"
 	"repro/internal/scratch"
 	"repro/internal/serial"
@@ -59,8 +60,15 @@ type Options struct {
 	// Trace records the per-level discovery profile into the output
 	// (costs nothing: it reuses the termination allreduce's totals), and
 	// with it the per-level scanned-edge, direction, and communication
-	// volume profiles.
+	// volume profiles and the heuristics' decision records.
 	Trace bool
+	// Force, when non-nil, overrides recorded decisions during a
+	// counterfactual replay: levels named in the plan take the forced
+	// direction or chunk count instead of the heuristic's choice, and
+	// the heuristic continues from the forced state. Every input the
+	// plan is consulted with is globally agreed, so all ranks follow the
+	// same forced schedule. Distances are unaffected by construction.
+	Force *decis.Plan
 	// Arena, when non-nil, recycles every per-rank working buffer across
 	// consecutive Runs (the Graph 500 protocol performs 16-64 searches
 	// back to back), so repeated searches allocate only their output
@@ -150,6 +158,11 @@ type Output struct {
 	// per-level communication volume profile. Overlap chunking must
 	// never change it — only the timing of the same words.
 	LevelCommWords []int64
+	// Decisions, when tracing, holds the policy decisions the run took
+	// (direction switches, overlap-gate verdicts) with the globally
+	// agreed inputs each heuristic saw. Recorded by rank 0: every rank
+	// computes the identical sequence from the same reduced statistics.
+	Decisions []decis.Decision
 }
 
 // threadBarrierOps approximates the instruction cost of one intra-node
@@ -205,6 +218,7 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 	scannedBU := make([]int64, p)
 	var trace []int64
 	var levelDir []bool
+	var decisions []decis.Decision
 	var levelScan, levelComm [][]int64
 	if opt.Trace {
 		levelScan = make([][]int64, p)
@@ -333,7 +347,10 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 		if pt.N > 0 && g.TotalAdj/pt.N > 1 {
 			avgDeg = g.TotalAdj / pt.N
 		}
-		chunksFor := func(prevNew int64) int {
+		chunksFor := func(level, prevNew int64) int {
+			if fk, ok := opt.Force.ForcedChunkK(level); ok {
+				return fk
+			}
 			if overlap < 2 {
 				return 1
 			}
@@ -357,10 +374,20 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 			extra := float64(overlap-1) * w.Model.PointToPoint(0)
 			hidden := price.MemCost(est/2, pt.N/int64(p), est, 0) *
 				float64(overlap-1) / float64(overlap) / float64(t)
+			k, alt := overlap, 1
 			if hidden <= extra {
-				return 1
+				k, alt = 1, overlap
 			}
-			return overlap
+			if opt.Trace && me == 0 {
+				decisions = append(decisions, decis.Decision{
+					Kind: decis.KindChunkK, Level: level,
+					Frontier: prevNew, EdgeEst: est,
+					HiddenSec: hidden, ExtraSec: extra,
+					Choice:       decis.ChunkChoice(k),
+					Alternatives: []string{decis.ChunkChoice(alt)},
+				})
+			}
+			return k
 		}
 
 		var level int64 = 1
@@ -639,7 +666,7 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 						r.Charge(price.MemCost(words/2, nloc, words, 0) / float64(t))
 					}
 				}
-				if k := chunksFor(prevNew); k > 1 {
+				if k := chunksFor(level, prevNew); k > 1 {
 					// Chunked nonblocking exchange: every send list is
 					// split into k pair-aligned chunks, chunk i+1 is
 					// posted before chunk i is waited, and chunk i's
@@ -712,6 +739,25 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 			if mode == dirheur.ModeAuto {
 				mf := world.AllreduceSum(r, mfLocal, "allreduce")
 				next = dirm.Advance(totalNew, mf)
+				if d, ok := opt.Force.ForcedDir(level + 1); ok {
+					next = d
+					dirm.Force(d)
+				}
+				if opt.Trace && me == 0 {
+					pol := dirm.Thresholds()
+					alt := dirheur.TopDown
+					if next == dirheur.TopDown {
+						alt = dirheur.BottomUp
+					}
+					decisions = append(decisions, decis.Decision{
+						Kind: decis.KindDirection, Level: level + 1,
+						Frontier: totalNew, EdgeEst: mf,
+						Unexplored: dirm.Unexplored(), Verts: dirm.Verts(),
+						Alpha: pol.Alpha, Beta: pol.Beta,
+						Choice:       decis.DirChoice(next),
+						Alternatives: []string{decis.DirChoice(alt)},
+					})
+				}
 			}
 			if next != cur {
 				if next == dirheur.BottomUp {
@@ -752,7 +798,8 @@ func Run(w *cluster.World, g *Graph, source int64, opt Options) *Output {
 		edgesPer[me] = traversed
 	})
 
-	out := &Output{Source: source, Levels: levelsPer[0], LevelFrontier: trace, LevelBottomUp: levelDir}
+	out := &Output{Source: source, Levels: levelsPer[0], LevelFrontier: trace,
+		LevelBottomUp: levelDir, Decisions: decisions}
 	out.Dist = make([]int64, 0, pt.N)
 	out.Parent = make([]int64, 0, pt.N)
 	for i := 0; i < p; i++ {

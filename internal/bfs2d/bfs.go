@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bits"
 	"repro/internal/cluster"
+	"repro/internal/decis"
 	"repro/internal/dirheur"
 	"repro/internal/scratch"
 	"repro/internal/serial"
@@ -66,8 +67,15 @@ type Options struct {
 	// Trace records the per-level discovery profile into the output
 	// (costs nothing: it reuses the termination allreduce's totals), and
 	// with it the per-level scanned-edge, direction, and communication
-	// volume profiles.
+	// volume profiles and the heuristics' decision records.
 	Trace bool
+	// Force, when non-nil, overrides recorded decisions during a
+	// counterfactual replay: levels named in the plan take the forced
+	// direction or pipeline depth instead of the heuristic's choice, and
+	// the heuristic continues from the forced state. Every input the
+	// plan is consulted with is globally agreed, so all ranks follow the
+	// same forced schedule. Distances are unaffected by construction.
+	Force *decis.Plan
 	// Arena, when non-nil, recycles every per-rank working buffer across
 	// consecutive Runs (the Graph 500 protocol performs 16-64 searches
 	// back to back), so repeated searches allocate only their output
@@ -164,6 +172,11 @@ type Output struct {
 	// collectives at each executed iteration, summed over ranks.
 	// Overlap chunking must never change it — only its timing.
 	LevelCommWords []int64
+	// Decisions, when tracing, holds the policy decisions the run took
+	// (direction switches, overlap-gate verdicts) with the globally
+	// agreed inputs each heuristic saw. Recorded by rank 0: every rank
+	// computes the identical sequence from the same reduced statistics.
+	Decisions []decis.Decision
 }
 
 const threadBarrierOps = 4000
@@ -222,6 +235,7 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 	scannedBU := make([]int64, p)
 	var trace []int64
 	var levelDir []bool
+	var decisions []decis.Decision
 	var levelScan, levelComm [][]int64
 	if opt.Trace {
 		levelScan = make([][]int64, p)
@@ -421,7 +435,10 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 		// chunking is skipped. Without a pricer there is no clock to win
 		// or lose, so the pipeline always runs (correctness tests
 		// exercise it).
-		chunksFor := func(prevNew int64) int {
+		chunksFor := func(level, prevNew int64) int {
+			if fk, ok := opt.Force.ForcedChunkK(level); ok {
+				return fk
+			}
 			if overlap < 2 {
 				return 1
 			}
@@ -432,10 +449,20 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			extra := 2 * float64(overlap-1) * w.Model.PointToPoint(0)
 			hidden := price.MemCost(est, pt.N/int64(grid.Pr)/int64(t), 2*est, est) *
 				float64(overlap-1) / float64(overlap) / float64(t)
+			kch, alt := overlap, 1
 			if hidden <= extra {
-				return 1
+				kch, alt = 1, overlap
 			}
-			return overlap
+			if opt.Trace && me == 0 {
+				decisions = append(decisions, decis.Decision{
+					Kind: decis.KindChunkK, Level: level,
+					Frontier: prevNew, EdgeEst: est,
+					HiddenSec: hidden, ExtraSec: extra,
+					Choice:       decis.ChunkChoice(kch),
+					Alternatives: []string{decis.ChunkChoice(alt)},
+				})
+			}
+			return kch
 		}
 
 		var level int64 = 1
@@ -503,7 +530,7 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 						int64(len(frontier))+mv*int64(mbits.Len64(uint64(mv))))
 				}
 
-				if kch := chunksFor(prevNew); kch > 1 {
+				if kch := chunksFor(level, prevNew); kch > 1 {
 					// ---- Overlapped expand/SpMSV/fold pipeline ----
 					// This branch deliberately mirrors (rather than
 					// subsumes) the blocking expand/SpMSV below: the
@@ -749,6 +776,25 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 			if mode == dirheur.ModeAuto {
 				mf := world.AllreduceSum(r, mfLocal, "allreduce")
 				next = dirm.Advance(totalNew, mf)
+				if d, ok := opt.Force.ForcedDir(level + 1); ok {
+					next = d
+					dirm.Force(d)
+				}
+				if opt.Trace && me == 0 {
+					pol := dirm.Thresholds()
+					alt := dirheur.TopDown
+					if next == dirheur.TopDown {
+						alt = dirheur.BottomUp
+					}
+					decisions = append(decisions, decis.Decision{
+						Kind: decis.KindDirection, Level: level + 1,
+						Frontier: totalNew, EdgeEst: mf,
+						Unexplored: dirm.Unexplored(), Verts: dirm.Verts(),
+						Alpha: pol.Alpha, Beta: pol.Beta,
+						Choice:       decis.DirChoice(next),
+						Alternatives: []string{decis.DirChoice(alt)},
+					})
+				}
 			}
 			switch {
 			case cur == dirheur.BottomUp && next == dirheur.BottomUp:
@@ -784,6 +830,7 @@ func run2DVector(w *cluster.World, grid *cluster.Grid, g *Graph, source int64, o
 	out := assemble(pt, grid, g, source, distLoc, parentLoc, levelsPer[0])
 	out.LevelFrontier = trace
 	out.LevelBottomUp = levelDir
+	out.Decisions = decisions
 	for id := 0; id < p; id++ {
 		out.ScannedTopDown += scannedTD[id]
 		out.ScannedBottomUp += scannedBU[id]

@@ -141,6 +141,22 @@ func (m *Machine) Direction() Direction { return m.cur }
 // Unexplored returns the remaining unexplored adjacency volume mu.
 func (m *Machine) Unexplored() int64 { return m.mu }
 
+// Verts returns the vertex total n the beta rule compares against
+// (batch-scaled for machines built with NewBatch).
+func (m *Machine) Verts() int64 { return m.n }
+
+// Thresholds returns the alpha/beta policy in force, with zero fields
+// already resolved to the defaults.
+func (m *Machine) Thresholds() Policy { return m.policy }
+
+// Force overrides the machine's current direction, as a counterfactual
+// replay does when it flips one recorded decision: the next Advance
+// applies the switch rules from the forced state, so the heuristic
+// continues down the alternative trajectory. Meaningful in ModeAuto
+// only — the fixed modes reassert their direction on every Advance.
+// Every rank must force identically, like every Advance.
+func (m *Machine) Force(d Direction) { m.cur = d }
+
 // Advance consumes the end-of-level global statistics — nf vertices
 // discovered into the next frontier, carrying mf adjacency slots — and
 // returns the direction for the next level. mf is subtracted from the

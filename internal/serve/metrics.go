@@ -23,22 +23,24 @@ type sample struct {
 
 // classAcc accumulates one SLO class's counters and sample window.
 type classAcc struct {
-	served   int64
-	rejected map[string]int64
-	occSum   int64
-	window   []sample
-	next     int
+	served         int64
+	rejected       map[string]int64
+	internalErrors int64
+	occSum         int64
+	window         []sample
+	next           int
 }
 
 // graphAcc accumulates one registered graph's lifetime counters.
 type graphAcc struct {
-	queries      int64
-	batches      int64
-	occSum       int64
-	cacheHits    int64
-	cacheMisses  int64
-	coalesced    int64
-	deadlineShed int64
+	queries        int64
+	batches        int64
+	occSum         int64
+	cacheHits      int64
+	cacheMisses    int64
+	coalesced      int64
+	deadlineShed   int64
+	internalErrors int64
 }
 
 // Metrics is the server's accounting, per SLO class (lifetime
@@ -157,6 +159,18 @@ func (m *Metrics) RecordReject(graph, class, reason string) {
 	m.mu.Unlock()
 }
 
+// RecordError counts one internal-error response for class on graph: a
+// query that was admitted, dispatched, and then answered with an
+// engine error instead of a result. These responses never enter the
+// latency sample window (they carried no result to sample), so without
+// this counter they would vanish from the metrics entirely.
+func (m *Metrics) RecordError(graph, class string) {
+	m.mu.Lock()
+	m.class(class).internalErrors++
+	m.graph(graph).internalErrors++
+	m.mu.Unlock()
+}
+
 // ClassSnapshot is one SLO class's reported metrics. Percentiles and
 // TEPS are over the class's recent sample window; counters are
 // lifetime.
@@ -164,6 +178,10 @@ type ClassSnapshot struct {
 	Class    string           `json:"class"`
 	Served   int64            `json:"served"`
 	Rejected map[string]int64 `json:"rejected,omitempty"`
+	// InternalErrors counts admitted queries answered with an engine
+	// error (no result); they are excluded from Served and from the
+	// latency windows.
+	InternalErrors int64 `json:"internal_errors,omitempty"`
 
 	MeanOccupancy float64 `json:"mean_occupancy"`
 
@@ -187,12 +205,13 @@ type GraphSnapshot struct {
 	Batches       int64   `json:"batches"`
 	MeanOccupancy float64 `json:"mean_occupancy"`
 
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	CacheEntries int     `json:"cache_entries"`
-	Coalesced    int64   `json:"coalesced"`
-	DeadlineShed int64   `json:"deadline_shed"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheEntries   int     `json:"cache_entries"`
+	Coalesced      int64   `json:"coalesced"`
+	DeadlineShed   int64   `json:"deadline_shed"`
+	InternalErrors int64   `json:"internal_errors,omitempty"`
 
 	QueueLen int `json:"queue_len"`
 	// QueueDelayEstimateNs is the server's current backpressure
@@ -222,7 +241,7 @@ func (m *Metrics) Snapshot(draining bool) Snapshot {
 	}
 	byClass := make(map[string][]graph500.Run, len(m.classes))
 	for name, c := range m.classes {
-		cs := ClassSnapshot{Class: name, Served: c.served}
+		cs := ClassSnapshot{Class: name, Served: c.served, InternalErrors: c.internalErrors}
 		if len(c.rejected) > 0 {
 			cs.Rejected = make(map[string]int64, len(c.rejected))
 			for reason, n := range c.rejected {
@@ -264,6 +283,7 @@ func (m *Metrics) Snapshot(draining bool) Snapshot {
 			Graph: id, Queries: g.queries, Batches: g.batches,
 			CacheHits: g.cacheHits, CacheMisses: g.cacheMisses,
 			Coalesced: g.coalesced, DeadlineShed: g.deadlineShed,
+			InternalErrors: g.internalErrors,
 		}
 		if g.batches > 0 {
 			gs.MeanOccupancy = float64(g.occSum) / float64(g.batches)

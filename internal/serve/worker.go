@@ -114,6 +114,21 @@ func (w *graphWorker) queueDelay() time.Duration {
 	return d
 }
 
+// admitDelay estimates the time from admission at now to the admitted
+// request's batch completing: the full dispatch cycles the current
+// backlog occupies ahead of it, plus its own batch's service time.
+// With an empty queue this is exactly one service time — the price a
+// lone request pays — while a backlog sheds proportionally earlier,
+// consistent with the cycle accounting queueDelay uses for the
+// Retry-After hint. (queueDelay itself is deliberately not reused
+// here: it rounds the backlog up to a minimum of one full cycle and
+// adds the former's max wait, which would shed currently-feasible
+// requests arriving at an empty queue.)
+func (w *graphWorker) admitDelay() time.Duration {
+	cycles := w.q.Len() / w.former.width()
+	return time.Duration(cycles+1) * w.estServe()
+}
+
 // submit runs the worker-local admission path at now: deadline
 // feasibility, cache lookup, single-flight coalescing, then the
 // bounded queue. The request's done channel is answered immediately on
@@ -121,7 +136,7 @@ func (w *graphWorker) queueDelay() time.Duration {
 // request is never queued.
 func (w *graphWorker) submit(req *Request, now time.Time, noCache bool) error {
 	m := w.s.metrics
-	if !req.Deadline.IsZero() && now.Add(w.estServe()).After(req.Deadline) {
+	if !req.Deadline.IsZero() && now.Add(w.admitDelay()).After(req.Deadline) {
 		m.RecordReject(w.id, req.Class, RejectDeadline)
 		return &RejectError{Reason: RejectDeadline}
 	}
@@ -143,10 +158,18 @@ func (w *graphWorker) submit(req *Request, now time.Time, noCache bool) error {
 	}
 	if err := w.q.Push(req); err != nil {
 		w.mu.Unlock()
-		if rej, ok := AsReject(err); ok && rej.Reason == RejectQueueFull {
-			rej.RetryAfter = w.queueDelay()
+		// Record the reason the queue actually rejected for — Push can
+		// refuse for reasons other than capacity (a draining queue, an
+		// oversized request class) and miscounting them all as
+		// queue_full hides shutdown and policy sheds from the metrics.
+		reason := RejectQueueFull
+		if rej, ok := AsReject(err); ok {
+			reason = rej.Reason
+			if reason == RejectQueueFull {
+				rej.RetryAfter = w.queueDelay()
+			}
 		}
-		m.RecordReject(w.id, req.Class, RejectQueueFull)
+		m.RecordReject(w.id, req.Class, reason)
 		return err
 	}
 	w.flights[req.Source] = req
@@ -216,6 +239,7 @@ func (w *graphWorker) runBatch(batch []*Request, now time.Time) {
 	if err != nil {
 		for _, reqs := range live {
 			for _, r := range reqs {
+				m.RecordError(w.id, r.Class)
 				r.done <- &Response{
 					ID: r.ID, Graph: w.id, Source: r.Source, Class: r.Class, Err: err,
 				}

@@ -33,6 +33,7 @@ package pbfs
 import (
 	"fmt"
 
+	"repro/internal/decis"
 	"repro/internal/edgefile"
 	"repro/internal/graph"
 	"repro/internal/graph500"
@@ -115,6 +116,11 @@ type Graph struct {
 	el       *graph.EdgeList
 	csr      *graph.CSR
 	directed bool
+	// family names the workload family the graph came from ("rmat",
+	// "web", "edges", "file", "directed"): the granularity the
+	// auto-tuner caches settings at, on the theory that graphs of one
+	// family share degree structure and therefore tuned thresholds.
+	family string
 }
 
 // NewRMATGraph generates a Graph 500 R-MAT graph (a=0.59, b=c=0.19,
@@ -125,7 +131,7 @@ func NewRMATGraph(scale, edgeFactor int, seed uint64) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromEdgeList(el)
+	return fromEdgeList(el, "rmat")
 }
 
 // NewWebCrawlGraph generates a high-diameter (≈140 BFS levels) synthetic
@@ -135,7 +141,7 @@ func NewWebCrawlGraph(numVerts int64, seed uint64) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromEdgeList(el)
+	return fromEdgeList(el, "web")
 }
 
 // NewGraphFromEdges builds a graph from explicit undirected edges; each
@@ -145,7 +151,7 @@ func NewGraphFromEdges(numVerts int64, edges [][2]int64) (*Graph, error) {
 	for _, e := range edges {
 		el.Edges = append(el.Edges, graph.Edge{U: e[0], V: e[1]})
 	}
-	return fromEdgeList(el.Symmetrize())
+	return fromEdgeList(el.Symmetrize(), "edges")
 }
 
 // NewGraphFromFile loads a directed binary edge file written by
@@ -155,7 +161,7 @@ func NewGraphFromFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromEdgeList(el.Symmetrize())
+	return fromEdgeList(el.Symmetrize(), "file")
 }
 
 // NewDirectedGraph builds a graph from directed edges without
@@ -169,7 +175,7 @@ func NewDirectedGraph(numVerts int64, edges [][2]int64) (*Graph, error) {
 	for _, e := range edges {
 		el.Edges = append(el.Edges, graph.Edge{U: e[0], V: e[1]})
 	}
-	g, err := fromEdgeList(el)
+	g, err := fromEdgeList(el, "directed")
 	if err != nil {
 		return nil, err
 	}
@@ -177,12 +183,12 @@ func NewDirectedGraph(numVerts int64, edges [][2]int64) (*Graph, error) {
 	return g, nil
 }
 
-func fromEdgeList(el *graph.EdgeList) (*Graph, error) {
+func fromEdgeList(el *graph.EdgeList, family string) (*Graph, error) {
 	csr, err := graph.BuildCSR(el, true)
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{el: el, csr: csr}, nil
+	return &Graph{el: el, csr: csr, family: family}, nil
 }
 
 // NumVerts returns the vertex count.
@@ -241,6 +247,11 @@ func (g *Graph) Validate(res *Result) error {
 // Directed reports whether the graph was built without symmetrization.
 func (g *Graph) Directed() bool { return g.directed }
 
+// Family names the workload family the graph came from ("rmat", "web",
+// "edges", "file", "directed") — the key the session's auto-tuner
+// caches settings under.
+func (g *Graph) Family() string { return g.family }
+
 // Result is a BFS output with its simulated execution profile.
 type Result struct {
 	Source int64
@@ -284,6 +295,13 @@ type Result struct {
 	// iteration, summed over ranks: the per-level communication volume
 	// profile, identical for every Options.Overlap setting.
 	LevelCommWords []int64
+	// Decisions, when Options.Trace is set on a 1D or 2D run, holds
+	// the policy decisions the search took — per-level direction
+	// switches and overlap-gate verdicts, plus the grid-shape choice
+	// when a 2D run derived its grid — each with the globally agreed
+	// inputs the heuristic saw and the alternatives it rejected.
+	// Session.Counterfactual replays them.
+	Decisions []decis.Decision
 }
 
 // TEPS returns the traversed-edges-per-second rate of the result.

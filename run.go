@@ -1,5 +1,7 @@
 package pbfs
 
+import "repro/internal/decis"
+
 // Options configures a distributed BFS run. The layout fields
 // (Algorithm, Ranks, GridRows/GridCols, Threads, Machine, Kernel,
 // DiagonalVectors) select an engine — a distributed graph, world/grid,
@@ -54,8 +56,23 @@ type Options struct {
 	// blocking exchange. Part of the engine cache key. Ignored by the
 	// Reference and PBGL comparators and by DiagonalVectors.
 	Overlap int
-	// Trace records the per-level discovery counts into the result.
+	// Trace records the per-level discovery counts into the result,
+	// and with them the policy decisions the heuristics took
+	// (Result.Decisions): direction switches, overlap-gate verdicts,
+	// and (for derived 2D grids) the grid-shape choice, each with the
+	// globally agreed inputs it saw and the alternatives it rejected.
 	Trace bool
+	// AutoTune applies the session's cached auto-tuned settings for
+	// this graph's family (Session.Tune) before resolving the layout:
+	// thresholds, overlap chunking, and grid shape the caller left at
+	// their defaults take the tuned values instead of the hand-set
+	// Franklin-era constants. A session that has not been tuned for
+	// the (layout, family) pair runs the defaults unchanged.
+	AutoTune bool
+
+	// force replays recorded decisions under rejected alternatives; it
+	// is set only by the counterfactual runner (Session.Counterfactual).
+	force *decis.Plan
 }
 
 // BFS runs a distributed breadth-first search from source under the

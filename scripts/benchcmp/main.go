@@ -64,6 +64,13 @@ type result struct {
 	// achieved. Both are simulated-clock metrics, so they gate tightly.
 	ServeSpeedup   float64 `json:"serve_speedup"`
 	ServeOccupancy float64 `json:"serve_batch_occupancy"`
+	// Auto-tuner record: simulated time under the default policy
+	// parameters divided by simulated time under the tuned settings the
+	// counterfactual replays picked. The tuner always scores the
+	// defaults as candidate 0 and only displaces them on a strict win,
+	// so the ratio is >= 1 by construction; a value under 1 means the
+	// tuner started applying settings it never validated.
+	TunedSpeedup float64 `json:"tuned_speedup"`
 }
 
 // hostInfo mirrors the host stamp bfsbench records: wall-clock columns
@@ -153,6 +160,14 @@ type tolerances struct {
 	// same bound, so pre-v1 baselines don't wedge CI.
 	serveHitRateFloor float64
 	serveMissRateCeil float64
+	// tunedFloor gates tuned_speedup: the tuner scores the default
+	// settings as candidate 0 and replaces them only on a strict
+	// simulated-time win, so the ratio is >= 1 by construction. Both
+	// sides derive from the simulated clock (deterministic), so the
+	// floor sits just under 1 purely for float division headroom. It is
+	// enforced whenever the candidate carries the field (> 0) — like
+	// overlap_speedup — so a pre-tuner baseline doesn't suppress it.
+	tunedFloor float64
 	// parallelFloor is the parallel_efficiency floor, enforced only when
 	// the candidate host has more than one CPU (a single-core host runs
 	// both sides of the ratio on the same schedule, so its value carries
@@ -168,6 +183,7 @@ func defaultTolerances() tolerances {
 		overlapFloor: 0.999999, hybridGrow: 0.5, amortFloor: 2,
 		serveFloor: 1, serveOccFloor: 16,
 		serveHitRateFloor: 0.25, serveMissRateCeil: 0.5,
+		tunedFloor:    0.999999,
 		parallelFloor: 1.05,
 	}
 }
@@ -231,6 +247,15 @@ func compare(base, cand *report, tol tolerances) []string {
 		if b.ServeOccupancy >= tol.serveOccFloor && c.ServeOccupancy < tol.serveOccFloor {
 			bad = append(bad, fmt.Sprintf("%s: serve_batch_occupancy %.1f below the %.0f floor (baseline %.1f) — batch former stopped filling batches",
 				b.Config, c.ServeOccupancy, tol.serveOccFloor, b.ServeOccupancy))
+		}
+		// The tuner's speedup is >= 1 by construction (defaults are
+		// always scored as a candidate; strict win to displace), so any
+		// candidate carrying the field under the floor means applyTuned
+		// started handing out settings the tuner never validated.
+		// Simulated clock on both sides — no wall-clock slack needed.
+		if c.TunedSpeedup > 0 && c.TunedSpeedup < tol.tunedFloor {
+			bad = append(bad, fmt.Sprintf("%s: tuned_speedup %.6f below %.6f — tuner applied settings slower than the defaults it scored",
+				b.Config, c.TunedSpeedup, tol.tunedFloor))
 		}
 	}
 	if base.HybridOverhead1D > 0 && cand.HybridOverhead1D > base.HybridOverhead1D*(1+tol.hybridGrow) {

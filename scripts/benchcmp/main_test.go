@@ -366,6 +366,47 @@ func TestCompareServeProbeGates(t *testing.T) {
 	}
 }
 
+// TestCompareTunedSpeedupGate covers the PR 10 addition: tuned_speedup
+// is >= 1 by construction (the tuner always scores the defaults and
+// only displaces them on a strict simulated-time win), so a candidate
+// carrying the field below the floor means applyTuned handed out
+// settings the tuner never validated. Enforced whenever the candidate
+// carries the field — like overlap_speedup — so a pre-tuner baseline
+// (field absent on its rows) does not suppress the check, while a
+// candidate that stopped measuring (field 0) is not compared.
+func TestCompareTunedSpeedupGate(t *testing.T) {
+	tol := defaultTolerances()
+	base := sampleBaseline() // pre-tuner baseline: no tuned_speedup fields
+
+	healthy := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, TunedSpeedup: 1.0},
+		{Config: "2d-flat", AllocsPerOp: 425, BatchSpeedup: 54, TunedSpeedup: 1.37},
+	}}
+	if bad := compare(base, healthy, tol); len(bad) != 0 {
+		t.Fatalf("healthy tuned candidate flagged: %v", bad)
+	}
+
+	regressed := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188, TunedSpeedup: 1.0},
+		{Config: "2d-flat", AllocsPerOp: 425, BatchSpeedup: 54, TunedSpeedup: 0.91},
+	}}
+	bad := compare(base, regressed, tol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "tuned_speedup") || !strings.Contains(bad[0], "2d-flat") {
+		t.Fatalf("sub-1x tuned_speedup not flagged: %v", bad)
+	}
+
+	// A candidate that stopped measuring tuning (field 0, e.g. an old
+	// generator) is not compared — absence is handled by the committed-
+	// baseline schema test, not this gate.
+	unmeasured := &report{Results: []result{
+		{Config: "1d-flat", AllocsPerOp: 170, BatchSpeedup: 188},
+		{Config: "2d-flat", AllocsPerOp: 425, BatchSpeedup: 54},
+	}}
+	if bad := compare(base, unmeasured, tol); len(bad) != 0 {
+		t.Fatalf("unmeasured tuned_speedup flagged: %v", bad)
+	}
+}
+
 // TestWarnCrossHost: differing core counts between baseline and
 // candidate warn without failing — the wall-clock columns are not
 // directly comparable, but a laptop regenerating a CI-host baseline

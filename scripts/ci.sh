@@ -100,6 +100,22 @@ echo "== race smoke (batching query server) =="
 # distances).
 go test -race ./internal/serve
 
+echo "== counterfactual determinism smoke =="
+# The decision-replay regret table derives entirely from the simulated
+# clock, so two invocations must produce identical bytes — the property
+# the auto-tuner's regret accounting (and the tuned_speedup gate in
+# scripts/benchcmp) relies on. A diff here means wall-clock time,
+# iteration order, or other nondeterminism leaked into the replay path.
+cf_a=$(mktemp) && cf_b=$(mktemp)
+trap 'rm -f "$cf_a" "$cf_b"' EXIT
+go run ./cmd/bfsbench -counterfactual -bench-scale 10 >"$cf_a"
+go run ./cmd/bfsbench -counterfactual -bench-scale 10 >"$cf_b"
+if ! diff -u "$cf_a" "$cf_b"; then
+    echo "counterfactual replay output differs between runs (nondeterminism regression)" >&2
+    exit 1
+fi
+echo "replay table deterministic ($(wc -l <"$cf_a") lines)"
+
 echo "== bench smoke (BFS level loops, 1 iteration) =="
 go test -run '^$' -bench=BFS -benchtime=1x -benchmem .
 
